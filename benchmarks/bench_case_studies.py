@@ -1,0 +1,26 @@
+"""Section 2 / 5.2 case studies: strength reduction, branchless abs, loop fission."""
+from repro.experiments import tables
+
+
+def test_case_study_strength_reduction(benchmark):
+    result = benchmark.pedantic(tables.case_study_strength_reduction, iterations=1, rounds=2)
+    print()
+    print("Case study (Fig 2a): -O3 instr", result["-O3"]["instructions"],
+          "vs zkVM-aware -O3 instr", result["-O3-zkvm"]["instructions"])
+    assert result["-O3-zkvm"]["instructions"] <= result["-O3"]["instructions"]
+
+
+def test_case_study_branchless_abs(benchmark):
+    result = benchmark.pedantic(tables.case_study_branchless_abs, iterations=1, rounds=2)
+    print()
+    print("Case study (Fig 13): branchy", result["branchy"]["instructions"],
+          "branchless", result["branchless"]["instructions"])
+    assert result["branchy"]["output"] == result["branchless"]["output"]
+
+
+def test_case_study_loop_fission(benchmark):
+    result = benchmark.pedantic(tables.case_study_loop_fission, iterations=1, rounds=2)
+    print()
+    print("Case study (Fig 2b): fused", result["fused"]["instructions"],
+          "fissioned", result["fissioned"]["instructions"])
+    assert result["fissioned"]["instructions"] > result["fused"]["instructions"]

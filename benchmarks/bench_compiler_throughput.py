@@ -1,0 +1,39 @@
+"""Compiler-throughput microbenchmarks: frontend, pass pipeline, backend, emulator."""
+from repro.backend import compile_module
+from repro.benchmarks import get_benchmark
+from repro.emulator import run_program
+from repro.frontend import compile_source
+from repro.passes import pipeline_for_level
+
+
+def test_frontend_throughput(benchmark):
+    source = get_benchmark("polybench-gemm").source
+    module = benchmark(compile_source, source)
+    assert module.get_function("main") is not None
+
+
+def test_o3_pipeline_throughput(benchmark):
+    module = compile_source(get_benchmark("polybench-gemm").source)
+
+    def run():
+        clone = module.clone()
+        pipeline_for_level("-O3").run(clone)
+        return clone
+
+    optimized = benchmark(run)
+    # -O3 may grow *static* code (inlining, unrolling); it must stay well formed
+    # and keep the entry point.
+    assert optimized.get_function("main") is not None
+    assert optimized.instruction_count() > 0
+
+
+def test_backend_throughput(benchmark):
+    module = compile_source(get_benchmark("polybench-gemm").source)
+    program = benchmark(compile_module, module.clone())
+    assert program.total_static_instructions() > 0
+
+
+def test_emulator_throughput(benchmark):
+    program = compile_module(compile_source(get_benchmark("fibonacci").source))
+    stats = benchmark(run_program, program)
+    assert stats.instructions > 0

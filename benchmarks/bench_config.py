@@ -1,0 +1,11 @@
+"""Benchmark/pass slices shared by the bench targets (see DESIGN.md)."""
+
+BENCH_BENCHMARKS = [
+    "fibonacci", "loop-sum", "tailcall",
+    "polybench-gemm", "polybench-trisolv", "npb-is", "npb-lu", "sha256",
+]
+BENCH_PASSES = [
+    "inline", "always-inline", "gvn", "instcombine", "simplifycfg",
+    "mem2reg", "sroa", "licm", "loop-extract", "loop-rotate", "reg2mem",
+    "jump-threading", "tailcall",
+]

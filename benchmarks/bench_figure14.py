@@ -1,0 +1,18 @@
+"""Figure 14: zkVM-aware -O3 vs vanilla -O3."""
+from repro.experiments import figures
+from bench_config import BENCH_BENCHMARKS
+
+
+def test_figure14_zkvm_aware(benchmark, runner):
+    result = benchmark.pedantic(figures.figure14_zkvm_aware,
+                                args=(runner, BENCH_BENCHMARKS),
+                                iterations=1, rounds=1)
+    print()
+    improved = 0
+    for bench, row in result.items():
+        gain = row[("risc0", "execution_time")]
+        improved += gain > 0
+        print(f"Figure 14 {bench:22s} risc0 exec {gain:+.1f}% sp1 exec "
+              f"{row[('sp1', 'execution_time')]:+.1f}% instr {row['instruction_reduction']:+.1f}%")
+    print(f"Figure 14: improved on {improved}/{len(result)} benchmarks")
+    assert improved >= len(result) // 3

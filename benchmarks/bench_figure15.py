@@ -1,0 +1,14 @@
+"""Figure 15: native vs zkVM execution vs proving time (NPB, unoptimized)."""
+from repro.experiments import figures
+
+
+def test_figure15_native_vs_zkvm(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure15_native_vs_zkvm,
+        kwargs={"runner": runner, "benchmarks": ["npb-is", "npb-lu", "npb-ep", "npb-mg"]},
+        iterations=1, rounds=1)
+    print()
+    for bench, row in result.items():
+        print(f"Figure 15 {bench:8s} native {row['native_execution_s']:.6f}s "
+              f"r0-exec {row['risc0_execution_s']:.4f}s r0-prove {row['risc0_proving_s']:.2f}s")
+    assert all(r["risc0_proving_s"] > r["native_execution_s"] for r in result.values())

@@ -1,0 +1,16 @@
+"""Figure 3: impact of individual passes on exec/prove/cycles for both zkVMs."""
+from repro.experiments import figures
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_figure3_pass_impact(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure3_pass_impact,
+        args=(runner, BENCH_BENCHMARKS, BENCH_PASSES),
+        iterations=1, rounds=1)
+    print()
+    for name in result["top_passes"][:10]:
+        risc0 = result["risc0"]["execution_time"][name]["mean"]
+        sp1 = result["sp1"]["execution_time"][name]["mean"]
+        print(f"Figure 3 {name:16s} risc0 exec {risc0:+.1f}%  sp1 exec {sp1:+.1f}%")
+    assert "inline" in result["top_passes"]

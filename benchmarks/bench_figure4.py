@@ -1,0 +1,15 @@
+"""Figure 4: per-pass counts of severe/moderate gains and losses."""
+from repro.experiments import figures
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_figure4_effect_categories(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure4_effect_categories,
+        args=(runner, BENCH_BENCHMARKS, BENCH_PASSES),
+        iterations=1, rounds=1)
+    print()
+    table = result[("risc0", "execution_time")]
+    for name, counts in list(table.items())[:8]:
+        print("Figure 4 risc0/exec", name, counts)
+    assert sum(table["inline"].values()) <= len(BENCH_BENCHMARKS)

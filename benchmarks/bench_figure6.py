@@ -1,0 +1,13 @@
+"""Figure 6: autotuning speedups over -O3 (NPB + crypto slices)."""
+from repro.experiments import figures
+
+
+def test_figure6_autotuning(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure6_autotuning,
+        kwargs={"benchmarks": ["npb-is", "sha256"], "iterations": 6, "runner": runner},
+        iterations=1, rounds=1)
+    print()
+    for key, row in result.items():
+        print("Figure 6", key, f"gain over -O3: {row['gain_over_o3_percent']:+.1f}%")
+    assert all(row["speedup_over_o3"] > 0 for row in result.values())

@@ -1,0 +1,15 @@
+"""Figure 7: average impact of each optimization on zkVMs vs x86."""
+from repro.experiments import figures
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_figure7_zkvm_vs_x86(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure7_zkvm_vs_x86,
+        args=(runner, BENCH_BENCHMARKS[:5], BENCH_PASSES[:8]),
+        iterations=1, rounds=1)
+    print()
+    for name, row in result.items():
+        print(f"Figure 7 {name:14s} zkVM exec {row['zkvm_execution']:+.1f}% "
+              f"prove {row['zkvm_proving']:+.1f}% x86 {row['x86_execution']:+.1f}%")
+    assert "-O3" in result

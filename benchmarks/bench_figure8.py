@@ -1,0 +1,14 @@
+"""Figure 8: programs where pass effects diverge between x86 and RISC Zero."""
+from repro.experiments import figures
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_figure8_divergence(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure8_divergence,
+        args=(runner, BENCH_BENCHMARKS[:6], BENCH_PASSES[:8]),
+        iterations=1, rounds=1)
+    print()
+    for name, counts in result.items():
+        print("Figure 8", name, counts)
+    assert set(result) == set(BENCH_PASSES[:8])

@@ -1,0 +1,17 @@
+"""Figure 9: cost-component breakdown for representative passes."""
+from repro.experiments import figures
+
+
+def test_figure9_cost_components(benchmark, runner):
+    result = benchmark.pedantic(
+        figures.figure9_cost_components,
+        kwargs={"runner": runner,
+                "benchmarks": ["polybench-floyd-warshall", "factorial", "npb-lu", "tailcall"],
+                "profiles": ["inline", "always-inline", "licm", "loop-extract", "-O3", "-O0"]},
+        iterations=1, rounds=1)
+    print()
+    for profile, rows in result.items():
+        for bench, row in rows.items():
+            print(f"Figure 9 {profile:13s} {bench:26s} exec {row['exec_gain']:+.1f}% "
+                  f"instr {row['instructions_change']:+.1f}% paging {row['paging_cycles_change']:+.1f}%")
+    assert result["inline"]["polybench-floyd-warshall"]["exec_gain"] is not None

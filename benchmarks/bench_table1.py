@@ -1,0 +1,14 @@
+"""Table 1: gain/loss instance counts per zkVM (execution & proving)."""
+from repro.experiments import tables
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_table1_gain_loss_counts(benchmark, runner):
+    result = benchmark.pedantic(
+        tables.table1_gain_loss_counts,
+        args=(runner, BENCH_BENCHMARKS, BENCH_PASSES),
+        iterations=1, rounds=1)
+    print()
+    for zkvm, counts in result.items():
+        print(f"Table 1 [{zkvm}]: {counts}")
+    assert result["risc0"]["execution_gain"] + result["risc0"]["execution_loss"] > 0

@@ -1,0 +1,14 @@
+"""Table 2: Kendall/Pearson correlations between cost metrics and performance."""
+from repro.experiments import tables
+from bench_config import BENCH_BENCHMARKS, BENCH_PASSES
+
+
+def test_table2_correlations(benchmark, runner):
+    result = benchmark.pedantic(
+        tables.table2_correlations,
+        args=(runner, BENCH_BENCHMARKS[:5], BENCH_PASSES[:8]),
+        iterations=1, rounds=1)
+    print()
+    for key, row in result.items():
+        print("Table 2", key, row)
+    assert result[("risc0", "execution_time", "instructions")]["kendall"] > 0.3

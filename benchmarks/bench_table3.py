@@ -1,0 +1,10 @@
+"""Table 3: manual 4x/16x loop unrolling of the Figure 12 mat-vec kernel."""
+from repro.experiments import tables
+
+
+def test_table3_manual_unrolling(benchmark):
+    result = benchmark.pedantic(tables.table3_manual_unrolling, iterations=1, rounds=3)
+    print()
+    for factor, row in result.items():
+        print(f"Table 3 [{factor}x]:", {k: round(v, 1) for k, v in row.items()})
+    assert all(row["risc0_exec_gain"] > 0 for row in result.values())

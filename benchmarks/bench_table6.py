@@ -1,0 +1,13 @@
+"""Table 6: baseline execution/proving time statistics per zkVM."""
+from repro.experiments import tables
+from bench_config import BENCH_BENCHMARKS
+
+
+def test_table6_baseline_statistics(benchmark, runner):
+    result = benchmark.pedantic(tables.table6_baseline_statistics,
+                                args=(runner, BENCH_BENCHMARKS),
+                                iterations=1, rounds=1)
+    print()
+    for key, row in result.items():
+        print("Table 6", key, {k: round(v, 4) for k, v in row.items()})
+    assert result[("risc0", "proving_time")]["max"] >= result[("risc0", "proving_time")]["min"]

@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench file regenerates one of the paper's tables or figures on a
+reduced-but-representative slice of the benchmark matrix (see DESIGN.md's
+per-experiment index).  ``examples/full_study.py`` runs the same regenerators
+over the full matrix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BenchmarkRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared measurement cache across all bench targets."""
+    return BenchmarkRunner()

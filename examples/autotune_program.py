@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Reproduce the RQ2 autotuning experiment on one benchmark: search for a pass
+sequence that beats -O3 using cycle count as the fitness function.
+
+Run with:  python examples/autotune_program.py [benchmark] [iterations]
+"""
+import sys
+
+from repro.autotuner import GeneticAutotuner
+from repro.experiments import BenchmarkRunner
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "npb-is"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    runner = BenchmarkRunner()
+    tuner = GeneticAutotuner(runner=runner, seed=42, zkvm="risc0")
+    print(f"Autotuning {benchmark} for {iterations} evaluations (fitness: RISC Zero cycles)")
+    result = tuner.tune(benchmark, iterations=iterations)
+    print(f"  baseline cycles : {result.baseline_cycles}")
+    print(f"  -O3 cycles      : {result.o3_cycles}")
+    print(f"  tuned cycles    : {result.best_cycles}")
+    print(f"  gain over -O3   : {result.gain_over_o3_percent:+.1f}% "
+          f"({result.speedup_over_o3:.2f}x)")
+    print(f"  best sequence   : {result.best.passes}")
+    print(f"  inline-threshold={result.best.inline_threshold} "
+          f"unroll-threshold={result.best.unroll_threshold}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Run the full study matrix (all 58 benchmarks x all profiles) and print every
+table/figure.  This is the long-running counterpart of the pytest-benchmark
+targets; expect it to take a while in pure Python.
+
+Run with:  python examples/full_study.py [--quick]
+"""
+import sys
+
+from repro.benchmarks import all_benchmark_names
+from repro.experiments import BenchmarkRunner, figures, tables
+from repro.passes import available_passes
+
+
+def main():
+    quick = "--quick" in sys.argv
+    benchmarks = all_benchmark_names()
+    passes = available_passes()
+    if quick:
+        benchmarks = benchmarks[::6]
+        passes = passes[::4]
+    runner = BenchmarkRunner()
+
+    print("== Table 1 =="); print(tables.table1_gain_loss_counts(runner, benchmarks, passes))
+    print("== Table 2 =="); print(tables.table2_correlations(runner, benchmarks[:10], passes[:10]))
+    print("== Table 3 =="); print(tables.table3_manual_unrolling())
+    print("== Table 6 =="); print(tables.table6_baseline_statistics(runner, benchmarks))
+    print("== Figure 3 =="); print(figures.figure3_pass_impact(runner, benchmarks, passes)["top_passes"])
+    print("== Figure 5 =="); print(figures.figure5_optimization_levels(runner, benchmarks))
+    print("== Figure 7 =="); print(figures.figure7_zkvm_vs_x86(runner, benchmarks[:12], passes[:12]))
+    print("== Figure 14 =="); print(figures.figure14_zkvm_aware(runner, benchmarks))
+    print("== Figure 15 =="); print(figures.figure15_native_vs_zkvm(runner))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Reproduce a small slice of RQ1/RQ3: the impact of individual passes on the
+two zkVMs and on the x86 model, relative to the unoptimized baseline.
+
+Run with:  python examples/pass_impact_study.py [benchmark ...]
+"""
+import sys
+
+from repro.analysis import format_table
+from repro.experiments import BenchmarkRunner, individual_pass_profiles
+
+DEFAULT = ["fibonacci", "tailcall", "polybench-gemm", "npb-lu", "sha256"]
+PASSES = ["inline", "always-inline", "mem2reg", "sroa", "instcombine", "gvn",
+          "simplifycfg", "jump-threading", "licm", "loop-extract", "loop-rotate",
+          "reg2mem", "tailcall"]
+
+
+def main():
+    benchmarks = sys.argv[1:] or DEFAULT
+    runner = BenchmarkRunner()
+    profiles = [p for p in individual_pass_profiles() if p.name in PASSES]
+    rows = []
+    for profile in profiles:
+        risc0 = sum(runner.gain(b, profile, "risc0", "execution_time")
+                    for b in benchmarks) / len(benchmarks)
+        sp1 = sum(runner.gain(b, profile, "sp1", "execution_time")
+                  for b in benchmarks) / len(benchmarks)
+        prove = sum(runner.gain(b, profile, "risc0", "proving_time")
+                    for b in benchmarks) / len(benchmarks)
+        x86 = sum(runner.cpu_gain(b, profile) for b in benchmarks) / len(benchmarks)
+        rows.append([profile.name, risc0, sp1, prove, x86])
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(
+        ["pass", "risc0 exec %", "sp1 exec %", "risc0 prove %", "x86 exec %"],
+        rows, title=f"Average gain over baseline across {benchmarks}"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 14: compare vanilla -O3 against the zkVM-aware -O3
+(Change Sets 1-3) across a set of benchmarks.
+
+Run with:  python examples/zkvm_aware_compiler.py [benchmark ...]
+"""
+import sys
+
+from repro.analysis import format_table
+from repro.experiments import BenchmarkRunner, figures
+
+DEFAULT = ["fibonacci", "loop-sum", "polybench-floyd-warshall", "polybench-covariance",
+           "npb-ft", "regex-match", "sha256", "tailcall"]
+
+
+def main():
+    benchmarks = sys.argv[1:] or DEFAULT
+    runner = BenchmarkRunner()
+    result = figures.figure14_zkvm_aware(runner, benchmarks)
+    rows = []
+    for bench, row in result.items():
+        rows.append([bench,
+                     row[("risc0", "execution_time")], row[("sp1", "execution_time")],
+                     row[("risc0", "proving_time")], row[("sp1", "proving_time")],
+                     row["instruction_reduction"]])
+    print(format_table(
+        ["benchmark", "r0 exec %", "sp1 exec %", "r0 prove %", "sp1 prove %", "instr %"],
+        rows, title="zkVM-aware -O3 vs vanilla -O3 (positive = modified compiler is faster)"))
+
+
+if __name__ == "__main__":
+    main()

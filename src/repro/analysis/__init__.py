@@ -1,0 +1,6 @@
+"""Statistical analysis and reporting utilities."""
+
+from .stats import kendall_tau, pearson_r, mean, stddev
+from .reporting import format_table
+
+__all__ = ["kendall_tau", "pearson_r", "mean", "stddev", "format_table"]

@@ -1,0 +1,5 @@
+"""Genetic autotuning of optimization pass sequences (OpenTuner-style)."""
+
+from .search import AutotuneResult, GeneticAutotuner, TuningSpace
+
+__all__ = ["AutotuneResult", "GeneticAutotuner", "TuningSpace"]

@@ -1,0 +1,185 @@
+"""A genetic autotuner over pass sequences and numeric compiler flags.
+
+This mirrors the paper's use of OpenTuner (Section 4.2): candidate
+configurations are pass sequences up to a bounded depth plus values for the
+numeric knobs (inline-threshold, unroll-threshold); the fitness function is
+the zkVM *cycle count*, which the paper shows is a cheap and faithful proxy
+for execution and proving time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..passes import PassConfig, available_passes
+from ..experiments.profiles import Profile, custom_profile
+from ..experiments.runner import BenchmarkRunner
+
+
+@dataclass
+class TuningSpace:
+    """The search space: which passes may appear and the numeric knob ranges."""
+
+    passes: tuple[str, ...] = ()
+    max_depth: int = 20
+    inline_threshold_range: tuple[int, int] = (25, 5000)
+    unroll_threshold_range: tuple[int, int] = (0, 1000)
+
+    def __post_init__(self):
+        if not self.passes:
+            self.passes = tuple(available_passes())
+
+
+@dataclass
+class Candidate:
+    """One configuration in the population."""
+
+    passes: list[str]
+    inline_threshold: int
+    unroll_threshold: int
+    fitness: Optional[float] = None
+
+    def to_profile(self, name: str) -> Profile:
+        config = PassConfig(inline_threshold=self.inline_threshold,
+                            unroll_threshold=self.unroll_threshold)
+        return custom_profile(name, self.passes, config)
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of one autotuning run."""
+
+    benchmark: str
+    zkvm: str
+    best: Candidate
+    best_cycles: int
+    baseline_cycles: int
+    o3_cycles: int
+    evaluations: int
+    history: list = field(default_factory=list)
+
+    @property
+    def speedup_over_o3(self) -> float:
+        return self.o3_cycles / self.best_cycles if self.best_cycles else 1.0
+
+    @property
+    def gain_over_o3_percent(self) -> float:
+        if self.o3_cycles == 0:
+            return 0.0
+        return (self.o3_cycles - self.best_cycles) / self.o3_cycles * 100.0
+
+
+class GeneticAutotuner:
+    """Population-based search over pass sequences."""
+
+    def __init__(self, runner: Optional[BenchmarkRunner] = None,
+                 space: Optional[TuningSpace] = None,
+                 population_size: int = 12, seed: int = 0,
+                 zkvm: str = "risc0"):
+        self.runner = runner or BenchmarkRunner()
+        self.space = space or TuningSpace()
+        self.population_size = population_size
+        self.random = random.Random(seed)
+        self.zkvm = zkvm
+        self.evaluations = 0
+
+    # -- candidate construction -------------------------------------------------
+    def random_candidate(self) -> Candidate:
+        depth = self.random.randint(1, self.space.max_depth)
+        passes = [self.random.choice(self.space.passes) for _ in range(depth)]
+        return Candidate(
+            passes=passes,
+            inline_threshold=self.random.randint(*self.space.inline_threshold_range),
+            unroll_threshold=self.random.randint(*self.space.unroll_threshold_range),
+        )
+
+    def mutate(self, candidate: Candidate) -> Candidate:
+        passes = list(candidate.passes)
+        op = self.random.random()
+        if op < 0.3 and passes:
+            passes[self.random.randrange(len(passes))] = self.random.choice(self.space.passes)
+        elif op < 0.55 and len(passes) < self.space.max_depth:
+            passes.insert(self.random.randrange(len(passes) + 1),
+                          self.random.choice(self.space.passes))
+        elif op < 0.8 and len(passes) > 1:
+            passes.pop(self.random.randrange(len(passes)))
+        inline_threshold = candidate.inline_threshold
+        unroll_threshold = candidate.unroll_threshold
+        if self.random.random() < 0.3:
+            inline_threshold = self.random.randint(*self.space.inline_threshold_range)
+        if self.random.random() < 0.3:
+            unroll_threshold = self.random.randint(*self.space.unroll_threshold_range)
+        return Candidate(passes, inline_threshold, unroll_threshold)
+
+    def crossover(self, a: Candidate, b: Candidate) -> Candidate:
+        if a.passes and b.passes:
+            cut_a = self.random.randrange(len(a.passes) + 1)
+            cut_b = self.random.randrange(len(b.passes) + 1)
+            passes = (a.passes[:cut_a] + b.passes[cut_b:])[: self.space.max_depth]
+        else:
+            passes = list(a.passes or b.passes)
+        return Candidate(passes or [self.random.choice(self.space.passes)],
+                         self.random.choice([a.inline_threshold, b.inline_threshold]),
+                         self.random.choice([a.unroll_threshold, b.unroll_threshold]))
+
+    # -- fitness ----------------------------------------------------------------
+    def fitness(self, benchmark: str, candidate: Candidate) -> float:
+        profile = candidate.to_profile(f"tuned-{self.evaluations}")
+        self.evaluations += 1
+        try:
+            measurement = self.runner.measure(benchmark, profile, use_cache=False)
+        except Exception:
+            return float("inf")
+        return float(measurement.metric(self.zkvm, "total_cycles"))
+
+    # -- search ---------------------------------------------------------------------
+    def tune(self, benchmark: str, iterations: int = 40) -> AutotuneResult:
+        """Run the genetic search for ``iterations`` fitness evaluations."""
+        from ..experiments.profiles import baseline_profile, profile_by_name
+
+        baseline = self.runner.measure(benchmark, baseline_profile())
+        o3 = self.runner.measure(benchmark, profile_by_name("-O3"))
+        baseline_cycles = int(baseline.metric(self.zkvm, "total_cycles"))
+        o3_cycles = int(o3.metric(self.zkvm, "total_cycles"))
+
+        population = [self.random_candidate() for _ in range(self.population_size)]
+        # Seed the population with the -O3 sequence so the search starts from a
+        # strong configuration (OpenTuner does the same with -O3 as a baseline).
+        from ..passes import OPTIMIZATION_LEVELS
+        population[0] = Candidate(list(OPTIMIZATION_LEVELS["-O3"])[: self.space.max_depth],
+                                  inline_threshold=325, unroll_threshold=300)
+
+        history = []
+        evaluated = 0
+        for candidate in population:
+            candidate.fitness = self.fitness(benchmark, candidate)
+            evaluated += 1
+            if evaluated >= iterations:
+                break
+
+        while evaluated < iterations:
+            population.sort(key=lambda c: c.fitness if c.fitness is not None else float("inf"))
+            survivors = population[: max(2, self.population_size // 3)]
+            child_source = self.random.random()
+            if child_source < 0.5:
+                child = self.mutate(self.random.choice(survivors))
+            else:
+                child = self.crossover(*self.random.sample(survivors, 2)) \
+                    if len(survivors) >= 2 else self.mutate(survivors[0])
+            child.fitness = self.fitness(benchmark, child)
+            evaluated += 1
+            population.append(child)
+            best = min(population, key=lambda c: c.fitness or float("inf"))
+            history.append((evaluated, best.fitness))
+
+        population.sort(key=lambda c: c.fitness if c.fitness is not None else float("inf"))
+        best = population[0]
+        return AutotuneResult(
+            benchmark=benchmark, zkvm=self.zkvm, best=best,
+            best_cycles=int(best.fitness if best.fitness not in (None, float("inf"))
+                            else baseline_cycles),
+            baseline_cycles=baseline_cycles, o3_cycles=o3_cycles,
+            evaluations=evaluated, history=history,
+        )

@@ -1,0 +1,29 @@
+"""RISC-V (RV32IM) backend: instruction selection, register allocation and
+frame lowering.
+
+The top-level entry point is :func:`compile_module`, which turns an IR module
+into an executable :class:`~repro.backend.isa.AssemblyProgram`.
+"""
+
+from ..ir import Module
+from .cost_model import CPU_COST_MODEL, ZKVM_COST_MODEL, TargetCostModel, cost_model_for
+from .isa import AssemblyFunction, AssemblyProgram, Label, MachineInstr, classify
+from .lowering import DATA_SEGMENT_BASE, HOST_CALL_IDS, STACK_TOP, lower_module
+from .regalloc import allocate_registers
+
+
+def compile_module(module: Module,
+                   cost_model: TargetCostModel = CPU_COST_MODEL) -> AssemblyProgram:
+    """Lower ``module`` to RV32IM and run register allocation on every function."""
+    program = lower_module(module, cost_model)
+    for asm in program.functions.values():
+        allocate_registers(asm)
+    return program
+
+
+__all__ = [
+    "compile_module", "lower_module", "allocate_registers",
+    "AssemblyFunction", "AssemblyProgram", "Label", "MachineInstr", "classify",
+    "TargetCostModel", "CPU_COST_MODEL", "ZKVM_COST_MODEL", "cost_model_for",
+    "DATA_SEGMENT_BASE", "HOST_CALL_IDS", "STACK_TOP",
+]

@@ -1,0 +1,155 @@
+"""RV32IM instruction and register definitions used by the backend and emulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# -- registers ---------------------------------------------------------------
+#: ABI register names, indexed by register number.
+REGISTER_NAMES = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+REGISTER_NUMBERS = {name: i for i, name in enumerate(REGISTER_NAMES)}
+
+#: Registers the register allocator may assign to virtual registers.
+ALLOCATABLE = [
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+]
+CALLER_SAVED = frozenset(["ra", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+                          "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"])
+CALLEE_SAVED = frozenset(["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+                          "s8", "s9", "s10", "s11"])
+ARGUMENT_REGISTERS = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"]
+
+# -- opcode classes ------------------------------------------------------------
+ALU_OPS = frozenset([
+    "add", "addi", "sub", "and", "andi", "or", "ori", "xor", "xori",
+    "sll", "slli", "srl", "srli", "sra", "srai",
+    "slt", "slti", "sltu", "sltiu", "lui", "auipc", "li", "mv", "neg", "seqz", "snez",
+])
+MUL_OPS = frozenset(["mul", "mulh", "mulhu", "mulhsu"])
+DIV_OPS = frozenset(["div", "divu", "rem", "remu"])
+LOAD_OPS = frozenset(["lw", "lb", "lbu", "lh", "lhu"])
+STORE_OPS = frozenset(["sw", "sb", "sh"])
+BRANCH_OPS = frozenset(["beq", "bne", "blt", "bge", "bltu", "bgeu", "beqz", "bnez", "j"])
+JUMP_OPS = frozenset(["jal", "jalr", "call", "ret"])
+SYSTEM_OPS = frozenset(["ecall", "ebreak", "nop"])
+
+
+@dataclass
+class MachineInstr:
+    """One RISC-V instruction (or pseudo-instruction).
+
+    ``operands`` holds register names (strings such as ``"a0"`` or virtual
+    registers ``"%v12"``), integers (immediates) and label names, in the usual
+    assembler order for the opcode.
+    """
+
+    opcode: str
+    operands: list = field(default_factory=list)
+    comment: str = ""
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(o) for o in self.operands)
+        text = f"{self.opcode} {ops}".rstrip()
+        return f"{text}    # {self.comment}" if self.comment else text
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode in BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.opcode in JUMP_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode in STORE_OPS
+
+    @property
+    def is_terminator_like(self) -> bool:
+        return self.is_branch or self.is_jump
+
+
+@dataclass
+class Label:
+    """A branch target inside a function's instruction stream."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}:"
+
+
+@dataclass
+class AssemblyFunction:
+    """Lowered machine code for one function."""
+
+    name: str
+    body: list = field(default_factory=list)  # MachineInstr | Label
+    frame_size: int = 0
+
+    def instructions(self) -> list[MachineInstr]:
+        return [item for item in self.body if isinstance(item, MachineInstr)]
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        for item in self.body:
+            if isinstance(item, Label):
+                lines.append(f"{item.name}:")
+            else:
+                lines.append(f"    {item}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AssemblyProgram:
+    """A fully lowered module: functions plus global data layout."""
+
+    functions: dict[str, AssemblyFunction] = field(default_factory=dict)
+    globals_layout: dict[str, int] = field(default_factory=dict)  # name -> address
+    globals_init: dict[int, int] = field(default_factory=dict)    # address -> word
+    data_end: int = 0
+
+    def total_static_instructions(self) -> int:
+        return sum(len(f.instructions()) for f in self.functions.values())
+
+    def __str__(self) -> str:
+        parts = [f"# data end: {hex(self.data_end)}"]
+        for name, addr in self.globals_layout.items():
+            parts.append(f"# {name} @ {hex(addr)}")
+        parts.extend(str(f) for f in self.functions.values())
+        return "\n\n".join(parts)
+
+
+def classify(opcode: str) -> str:
+    """Coarse instruction class used by the cost models."""
+    if opcode in ALU_OPS:
+        return "alu"
+    if opcode in MUL_OPS:
+        return "mul"
+    if opcode in DIV_OPS:
+        return "div"
+    if opcode in LOAD_OPS:
+        return "load"
+    if opcode in STORE_OPS:
+        return "store"
+    if opcode in BRANCH_OPS:
+        return "branch"
+    if opcode in JUMP_OPS:
+        return "jump"
+    if opcode in SYSTEM_OPS:
+        return "system"
+    raise ValueError(f"unknown opcode: {opcode}")

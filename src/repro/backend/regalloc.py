@@ -1,0 +1,344 @@
+"""Register allocation: linear scan over virtual registers with spilling.
+
+This is where the register-pressure effects the paper discusses become real:
+transformations that lengthen live ranges (aggressive inlining, hoisting by
+licm) can push the number of simultaneously live values past the physical
+register file, forcing spill loads/stores inside hot loops — cheap on a CPU
+with a store buffer and an L1 hit, expensive on a zkVM where every spill is
+another proven instruction and a potential page touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .isa import (
+    ARGUMENT_REGISTERS, AssemblyFunction, CALLEE_SAVED, CALLER_SAVED, Label,
+    MachineInstr, REGISTER_NAMES,
+)
+
+#: Registers handed out by the allocator.  t5/t6 are reserved as spill scratch.
+ALLOCATABLE_CALLER = ["t0", "t1", "t2", "t3", "t4"]
+ALLOCATABLE_CALLEE = ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"]
+SPILL_SCRATCH = ["t5", "t6"]
+
+
+def _is_vreg(operand) -> bool:
+    return isinstance(operand, str) and operand.startswith("%")
+
+
+def instr_registers(instr: MachineInstr) -> tuple[list, list]:
+    """(defs, uses) positions of register operands for an instruction.
+
+    Returns two lists of operand *indices* so rewriting is straightforward.
+    """
+    opcode = instr.opcode
+    ops = instr.operands
+    reg_positions = [i for i, op in enumerate(ops) if isinstance(op, str) and
+                     (op.startswith("%") or op in REGISTER_NAMES)]
+    if opcode in ("sw", "sb", "sh"):
+        return [], reg_positions                       # store: value, base are uses
+    if opcode in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return [], reg_positions
+    if opcode in ("beqz", "bnez"):
+        return [], reg_positions
+    if opcode in ("j", "call", "ret", "ecall", "ebreak", "nop"):
+        return [], reg_positions
+    if opcode in ("jal", "jalr"):
+        return reg_positions[:1], reg_positions[1:]
+    # Default: first register operand is the destination, the rest are sources.
+    return reg_positions[:1], reg_positions[1:]
+
+
+@dataclass
+class LiveInterval:
+    vreg: str
+    start: int
+    end: int
+    crosses_call: bool = False
+    assigned: str | None = None
+    spill_slot: int | None = None
+
+
+def _block_boundaries(body: list) -> list[tuple[int, int]]:
+    """(start, end) instruction-index ranges of the machine basic blocks."""
+    boundaries = []
+    start = 0
+    for index, item in enumerate(body):
+        if isinstance(item, Label) and index > start:
+            boundaries.append((start, index))
+            start = index
+        elif isinstance(item, MachineInstr) and item.is_terminator_like:
+            boundaries.append((start, index + 1))
+            start = index + 1
+    if start < len(body):
+        boundaries.append((start, len(body)))
+    return [b for b in boundaries if b[0] < b[1]]
+
+
+def compute_live_intervals(body: list) -> dict[str, LiveInterval]:
+    """Conservative single-range live intervals with CFG-aware extension.
+
+    Uses iterative liveness over the machine basic blocks, then collapses each
+    vreg's live positions into one [start, end] range (standard linear scan).
+    """
+    # Map labels to the block that starts there.
+    blocks = _block_boundaries(body)
+    label_to_block = {}
+    for block_index, (start, end) in enumerate(blocks):
+        for position in range(start, end):
+            item = body[position]
+            if isinstance(item, Label):
+                label_to_block[item.name] = block_index
+            else:
+                break
+
+    def successors(block_index: int) -> list[int]:
+        start, end = blocks[block_index]
+        result = []
+        fallthrough = True
+        for position in range(end - 1, start - 1, -1):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            if item.opcode in ("j",):
+                target = label_to_block.get(item.operands[0])
+                if target is not None:
+                    result.append(target)
+                fallthrough = False
+            elif item.is_branch and item.opcode != "j":
+                target = label_to_block.get(item.operands[-1])
+                if target is not None:
+                    result.append(target)
+            elif item.opcode in ("ret",):
+                fallthrough = False
+            break
+        if fallthrough and block_index + 1 < len(blocks):
+            result.append(block_index + 1)
+        return result
+
+    # Per-block def/use sets for virtual registers.
+    defs: list[set] = [set() for _ in blocks]
+    uses: list[set] = [set() for _ in blocks]
+    for block_index, (start, end) in enumerate(blocks):
+        for position in range(start, end):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            def_positions, use_positions = instr_registers(item)
+            for pos in use_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg) and reg not in defs[block_index]:
+                    uses[block_index].add(reg)
+            for pos in def_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg):
+                    defs[block_index].add(reg)
+
+    live_in: list[set] = [set() for _ in blocks]
+    live_out: list[set] = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block_index in range(len(blocks) - 1, -1, -1):
+            out = set()
+            for succ in successors(block_index):
+                out |= live_in[succ]
+            new_in = uses[block_index] | (out - defs[block_index])
+            if out != live_out[block_index] or new_in != live_in[block_index]:
+                live_out[block_index] = out
+                live_in[block_index] = new_in
+                changed = True
+
+    intervals: dict[str, LiveInterval] = {}
+
+    def touch(vreg: str, position: int) -> None:
+        interval = intervals.get(vreg)
+        if interval is None:
+            intervals[vreg] = LiveInterval(vreg, position, position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    for block_index, (start, end) in enumerate(blocks):
+        for vreg in live_in[block_index]:
+            touch(vreg, start)
+        for vreg in live_out[block_index]:
+            touch(vreg, end - 1)
+        for position in range(start, end):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            def_positions, use_positions = instr_registers(item)
+            for pos in def_positions + use_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg):
+                    touch(reg, position)
+
+    # Mark intervals that are live across a call (they need callee-saved regs).
+    call_positions = [i for i, item in enumerate(body)
+                      if isinstance(item, MachineInstr) and item.opcode in ("call", "ecall")]
+    for interval in intervals.values():
+        interval.crosses_call = any(interval.start < p < interval.end
+                                    for p in call_positions)
+    return intervals
+
+
+class LinearScanAllocator:
+    """Classic linear-scan register allocation with furthest-end spilling."""
+
+    def __init__(self, asm: AssemblyFunction):
+        self.asm = asm
+        self.used_callee_saved: set[str] = set()
+        self.spill_slots: dict[str, int] = {}
+        self.next_spill_slot = 0
+
+    def run(self) -> None:
+        body = self.asm.body
+        intervals = compute_live_intervals(body)
+        ordered = sorted(intervals.values(), key=lambda iv: iv.start)
+
+        active: list[LiveInterval] = []
+        free_caller = list(ALLOCATABLE_CALLER)
+        free_callee = list(ALLOCATABLE_CALLEE)
+
+        def expire(position: int) -> None:
+            for interval in list(active):
+                if interval.end < position:
+                    active.remove(interval)
+                    if interval.assigned in ALLOCATABLE_CALLER:
+                        free_caller.append(interval.assigned)
+                    elif interval.assigned in ALLOCATABLE_CALLEE:
+                        free_callee.append(interval.assigned)
+
+        for interval in ordered:
+            expire(interval.start)
+            pools = ([free_callee, free_caller] if interval.crosses_call
+                     else [free_caller, free_callee])
+            register = None
+            for pool in pools:
+                if pool:
+                    # Don't give a caller-saved register to a call-crossing range.
+                    if interval.crosses_call and pool is free_caller:
+                        continue
+                    register = pool.pop(0)
+                    break
+            if register is not None:
+                interval.assigned = register
+                if register in CALLEE_SAVED:
+                    self.used_callee_saved.add(register)
+                active.append(interval)
+                continue
+            # Spill: choose between this interval and the active one ending last.
+            candidates = [iv for iv in active
+                          if not interval.crosses_call or iv.assigned in CALLEE_SAVED]
+            victim = max(candidates, key=lambda iv: iv.end, default=None)
+            if victim is not None and victim.end > interval.end:
+                interval.assigned = victim.assigned
+                active.remove(victim)
+                active.append(interval)
+                victim.assigned = None
+                self._assign_spill_slot(victim)
+            else:
+                self._assign_spill_slot(interval)
+
+        self._rewrite(intervals)
+
+    def _assign_spill_slot(self, interval: LiveInterval) -> None:
+        if interval.vreg not in self.spill_slots:
+            self.spill_slots[interval.vreg] = self.asm.frame_size + 4 * self.next_spill_slot
+            self.next_spill_slot += 1
+        interval.spill_slot = self.spill_slots[interval.vreg]
+
+    def _rewrite(self, intervals: dict[str, LiveInterval]) -> None:
+        """Replace virtual registers with physical ones; insert spill code."""
+        assignment = {iv.vreg: iv.assigned for iv in intervals.values()}
+        spills = {iv.vreg: iv.spill_slot for iv in intervals.values()
+                  if iv.assigned is None}
+
+        new_body: list = []
+        for item in self.asm.body:
+            if not isinstance(item, MachineInstr):
+                new_body.append(item)
+                continue
+            def_positions, use_positions = instr_registers(item)
+            scratch_pool = list(SPILL_SCRATCH)
+            reloads: list[MachineInstr] = []
+            stores: list[MachineInstr] = []
+            replacements: dict[int, str] = {}
+
+            for pos in use_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                if assignment.get(reg):
+                    replacements[pos] = assignment[reg]
+                else:
+                    slot = spills.get(reg, 0)
+                    scratch = scratch_pool.pop(0) if scratch_pool else SPILL_SCRATCH[0]
+                    reloads.append(MachineInstr("lw", [scratch, slot, "sp"],
+                                                comment=f"reload {reg}"))
+                    replacements[pos] = scratch
+
+            for pos in def_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                if assignment.get(reg):
+                    replacements[pos] = assignment[reg]
+                else:
+                    slot = spills.get(reg, 0)
+                    scratch = SPILL_SCRATCH[-1]
+                    replacements[pos] = scratch
+                    stores.append(MachineInstr("sw", [scratch, slot, "sp"],
+                                               comment=f"spill {reg}"))
+
+            for pos, reg in replacements.items():
+                item.operands[pos] = reg
+            new_body.extend(reloads)
+            new_body.append(item)
+            new_body.extend(stores)
+
+        self.asm.body = new_body
+        self.asm.frame_size += 4 * self.next_spill_slot
+
+
+def finalize_frame(asm: AssemblyFunction, used_callee_saved: set[str]) -> None:
+    """Insert the prologue/epilogue and expand ``ret`` pseudo-instructions."""
+    saved = sorted(used_callee_saved) + ["ra"]
+    frame = asm.frame_size + 4 * len(saved)
+    frame = (frame + 15) & ~15  # 16-byte stack alignment, as the RISC-V ABI requires
+    save_base = asm.frame_size
+
+    prologue: list[MachineInstr] = []
+    if frame:
+        prologue.append(MachineInstr("addi", ["sp", "sp", -frame], comment="prologue"))
+    for index, reg in enumerate(saved):
+        prologue.append(MachineInstr("sw", [reg, save_base + 4 * index, "sp"],
+                                     comment=f"save {reg}"))
+
+    epilogue: list[MachineInstr] = []
+    for index, reg in enumerate(saved):
+        epilogue.append(MachineInstr("lw", [reg, save_base + 4 * index, "sp"],
+                                     comment=f"restore {reg}"))
+    if frame:
+        epilogue.append(MachineInstr("addi", ["sp", "sp", frame], comment="epilogue"))
+    epilogue.append(MachineInstr("jalr", ["zero", "ra", 0], comment="return"))
+
+    new_body: list = list(prologue)
+    for item in asm.body:
+        if isinstance(item, MachineInstr) and item.opcode == "ret":
+            new_body.extend(MachineInstr(i.opcode, list(i.operands), i.comment)
+                            for i in epilogue)
+        else:
+            new_body.append(item)
+    asm.body = new_body
+    asm.frame_size = frame
+
+
+def allocate_registers(asm: AssemblyFunction) -> AssemblyFunction:
+    """Run register allocation and frame finalization on a lowered function."""
+    allocator = LinearScanAllocator(asm)
+    allocator.run()
+    finalize_frame(asm, allocator.used_callee_saved)
+    return asm

@@ -1,0 +1,8 @@
+"""Traditional-CPU (x86-class) timing model used for the RQ3 comparison."""
+
+from .x86_model import CpuTimingModel, CpuMetrics, DEFAULT_CPU
+from .cache import DirectMappedCache
+from .branch_predictor import TwoBitPredictor
+
+__all__ = ["CpuTimingModel", "CpuMetrics", "DEFAULT_CPU",
+           "DirectMappedCache", "TwoBitPredictor"]

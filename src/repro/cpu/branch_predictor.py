@@ -1,0 +1,43 @@
+"""A classic 2-bit saturating-counter branch predictor."""
+
+from __future__ import annotations
+
+
+class TwoBitPredictor:
+    """Per-branch 2-bit saturating counters, indexed by a branch identifier."""
+
+    # Counter states: 0,1 predict not-taken; 2,3 predict taken.
+    def __init__(self, table_size: int = 4096):
+        self.table_size = table_size
+        self.counters: dict[int, int] = {}
+        self.correct = 0
+        self.mispredicted = 0
+
+    def predict_and_update(self, branch_id: int, taken: bool) -> bool:
+        """Predict the branch, update the counter, return True if predicted
+        correctly."""
+        index = branch_id % self.table_size
+        counter = self.counters.get(index, 1)
+        prediction = counter >= 2
+        if prediction == taken:
+            self.correct += 1
+            correct = True
+        else:
+            self.mispredicted += 1
+            correct = False
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self.counters[index] = counter
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        total = self.correct + self.mispredicted
+        return self.correct / total if total else 1.0
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.correct = 0
+        self.mispredicted = 0

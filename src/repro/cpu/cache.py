@@ -1,0 +1,46 @@
+"""A small set-associative data cache model (L1-like) for the CPU timing model."""
+
+from __future__ import annotations
+
+
+class DirectMappedCache:
+    """A set-associative cache with LRU replacement (name kept for the common
+    direct-mapped configuration ``ways=1``)."""
+
+    def __init__(self, size_bytes: int = 32 * 1024, line_bytes: int = 64, ways: int = 4):
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError("cache size must be a multiple of line size * ways")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = size_bytes // (line_bytes * ways)
+        # Each set is an ordered list of tags (front = most recently used).
+        self._tags: list[list[int]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access ``address``; returns True on hit, False on miss."""
+        line = address // self.line_bytes
+        index = line % self.sets
+        tag = line // self.sets
+        entries = self._tags[index]
+        if tag in entries:
+            entries.remove(tag)
+            entries.insert(0, tag)
+            self.hits += 1
+            return True
+        entries.insert(0, tag)
+        if len(entries) > self.ways:
+            entries.pop()
+        self.misses += 1
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+    def reset(self) -> None:
+        self._tags = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0

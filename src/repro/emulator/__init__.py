@@ -1,0 +1,7 @@
+"""RISC-V guest emulator: replays compiled guest programs and records the
+execution trace statistics that the zkVM and CPU cost models consume."""
+
+from .machine import EmulationError, Machine, run_program
+from .trace import PAGE_SIZE, TraceStats
+
+__all__ = ["EmulationError", "Machine", "run_program", "PAGE_SIZE", "TraceStats"]

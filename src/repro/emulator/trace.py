@@ -1,0 +1,78 @@
+"""Execution-trace statistics collected while emulating a guest program.
+
+The zkVM cycle models and the CPU timing model both consume this summary, so
+one emulation run yields every metric the study needs (dynamic instruction
+counts by class, memory page touches per segment, branch/dependency events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: RISC Zero pages are 1 KiB.
+PAGE_SIZE = 1024
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one guest execution."""
+
+    #: Total dynamically executed instructions (ecall counts as one).
+    instructions: int = 0
+    #: Executed instructions per coarse opcode class (alu/mul/div/load/store/...).
+    class_counts: dict = field(default_factory=dict)
+    #: Executed instructions per opcode.
+    opcode_counts: dict = field(default_factory=dict)
+    #: Number of taken / not-taken conditional branches.
+    branches_taken: int = 0
+    branches_not_taken: int = 0
+    #: Calls and returns (jal/jalr/call/ret pseudo expansion).
+    calls: int = 0
+    #: Host calls by name (precompile usage).
+    host_calls: dict = field(default_factory=dict)
+    #: Ordered list of (page, was_write) "first touches": a page appears once per
+    #: segment per kind.  Segments follow the zkVM cycle budget (see models).
+    page_touches: list = field(default_factory=list)
+    #: Pages read / written over the whole execution (unique page numbers).
+    pages_read: set = field(default_factory=set)
+    pages_written: set = field(default_factory=set)
+    #: Total memory loads/stores.
+    loads: int = 0
+    stores: int = 0
+    #: Output values printed by the guest.
+    output: list = field(default_factory=list)
+    #: The guest's return value (main's a0 at halt).
+    return_value: int = 0
+    #: Memory access sequence folded into per-page counts.
+    page_access_counts: dict = field(default_factory=dict)
+
+    def record_instruction(self, opcode: str, instruction_class: str) -> None:
+        self.instructions += 1
+        self.class_counts[instruction_class] = self.class_counts.get(instruction_class, 0) + 1
+        self.opcode_counts[opcode] = self.opcode_counts.get(opcode, 0) + 1
+
+    def record_memory(self, address: int, is_write: bool) -> None:
+        page = address // PAGE_SIZE
+        self.page_access_counts[page] = self.page_access_counts.get(page, 0) + 1
+        if is_write:
+            self.stores += 1
+            self.pages_written.add(page)
+        else:
+            self.loads += 1
+            self.pages_read.add(page)
+
+    @property
+    def unique_pages(self) -> int:
+        return len(self.pages_read | self.pages_written)
+
+    def summary(self) -> dict:
+        return {
+            "instructions": self.instructions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "branches_taken": self.branches_taken,
+            "branches_not_taken": self.branches_not_taken,
+            "calls": self.calls,
+            "unique_pages": self.unique_pages,
+            "return_value": self.return_value,
+        }

@@ -1,0 +1,16 @@
+"""The experiment harness: profiles, the measurement runner, and one
+regenerator per paper table and figure (see DESIGN.md for the index)."""
+
+from .profiles import (
+    Profile, all_study_profiles, baseline_profile, custom_profile,
+    individual_pass_profiles, level_profiles, profile_by_name, zkvm_aware_profile,
+)
+from .runner import BenchmarkRunner, Measurement, percent_change
+from . import figures, tables
+
+__all__ = [
+    "Profile", "all_study_profiles", "baseline_profile", "custom_profile",
+    "individual_pass_profiles", "level_profiles", "profile_by_name",
+    "zkvm_aware_profile", "BenchmarkRunner", "Measurement", "percent_change",
+    "figures", "tables",
+]

@@ -1,0 +1,153 @@
+"""The measurement harness: compile a benchmark under a profile, execute it,
+and evaluate every metric the paper reports (cycle count, zkVM execution
+time, proving time for both zkVMs; native execution time on the CPU model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional
+
+from ..backend import compile_module
+from ..cpu import CpuTimingModel
+from ..cpu.x86_model import CpuMetrics
+from ..emulator import Machine, TraceStats
+from ..frontend import compile_source
+from ..ir import Module, verify_module
+from ..passes import PassManager
+from ..zkvm.models import ZKVMS, ZkvmMetrics
+from .profiles import Profile, baseline_profile
+
+
+@dataclass
+class Measurement:
+    """Everything measured for one (benchmark, profile) pair."""
+
+    benchmark: str
+    profile: str
+    trace: TraceStats
+    risc0: ZkvmMetrics
+    sp1: ZkvmMetrics
+    cpu: CpuMetrics
+    static_instructions: int
+
+    @property
+    def instructions(self) -> int:
+        return self.trace.instructions
+
+    def metric(self, zkvm: str, name: str) -> float:
+        source = {"risc0": self.risc0, "sp1": self.sp1}[zkvm]
+        return getattr(source, name)
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "profile": self.profile,
+            "instructions": self.instructions,
+            "risc0": self.risc0.as_dict(),
+            "sp1": self.sp1.as_dict(),
+            "cpu": self.cpu.as_dict(),
+        }
+
+
+def percent_change(baseline: float, value: float) -> float:
+    """Performance gain in percent: positive = faster (smaller) than baseline."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - value) / baseline * 100.0
+
+
+class BenchmarkRunner:
+    """Compiles and measures benchmark programs under optimization profiles.
+
+    Compilation results are memoized per (benchmark, profile) so that the
+    table/figure regenerators can share work.
+    """
+
+    def __init__(self, max_instructions: int = 20_000_000, verify: bool = False):
+        self.max_instructions = max_instructions
+        self.verify = verify
+        self._source_cache: dict[str, Module] = {}
+        self._measure_cache: dict[tuple[str, str], Measurement] = {}
+
+    # -- compilation ---------------------------------------------------------
+    def frontend_module(self, benchmark_name: str) -> Module:
+        """The unoptimized IR module of a registered benchmark."""
+        from ..benchmarks import get_benchmark
+
+        if benchmark_name not in self._source_cache:
+            benchmark = get_benchmark(benchmark_name)
+            self._source_cache[benchmark_name] = compile_source(
+                benchmark.source, module_name=benchmark_name)
+        return self._source_cache[benchmark_name]
+
+    def compile(self, benchmark_name: str, profile: Profile):
+        """Apply the profile's passes and lower to RV32IM."""
+        module = self.frontend_module(benchmark_name).clone()
+        if profile.passes:
+            PassManager(profile.passes, profile.config).run(module)
+        if self.verify:
+            verify_module(module)
+        return compile_module(module, profile.cost_model)
+
+    # -- measurement ----------------------------------------------------------
+    def measure(self, benchmark_name: str, profile: Profile,
+                use_cache: bool = True) -> Measurement:
+        key = (benchmark_name, profile.name)
+        if use_cache and key in self._measure_cache:
+            return self._measure_cache[key]
+
+        from ..benchmarks import get_benchmark
+
+        benchmark = get_benchmark(benchmark_name)
+        program = self.compile(benchmark_name, profile)
+        cpu_model = CpuTimingModel()
+        machine = Machine(program, max_instructions=self.max_instructions,
+                          observers=[cpu_model], input_values=benchmark.inputs)
+        trace = machine.run("main", benchmark.args)
+        if benchmark.expected_output is not None and \
+                trace.output != benchmark.expected_output:
+            raise AssertionError(
+                f"{benchmark_name} under {profile.name}: output {trace.output} "
+                f"does not match expected {benchmark.expected_output}")
+
+        risc0 = ZKVMS["risc0"].evaluate(trace, machine.page_in_events,
+                                        machine.page_out_events)
+        sp1 = ZKVMS["sp1"].evaluate(trace, machine.page_in_events,
+                                    machine.page_out_events)
+        measurement = Measurement(
+            benchmark=benchmark_name,
+            profile=profile.name,
+            trace=trace,
+            risc0=risc0,
+            sp1=sp1,
+            cpu=cpu_model.finalize(),
+            static_instructions=program.total_static_instructions(),
+        )
+        if use_cache:
+            self._measure_cache[key] = measurement
+        return measurement
+
+    def measure_many(self, benchmark_names: list[str],
+                     profiles: list[Profile]) -> list[Measurement]:
+        results = []
+        for benchmark_name in benchmark_names:
+            for profile in profiles:
+                results.append(self.measure(benchmark_name, profile))
+        return results
+
+    def baseline(self, benchmark_name: str) -> Measurement:
+        return self.measure(benchmark_name, baseline_profile())
+
+    # -- derived quantities ------------------------------------------------------
+    def gain(self, benchmark_name: str, profile: Profile, zkvm: str,
+             metric: str) -> float:
+        """Percent improvement of ``profile`` over the baseline for a metric."""
+        base = self.baseline(benchmark_name)
+        value = self.measure(benchmark_name, profile)
+        return percent_change(base.metric(zkvm, metric), value.metric(zkvm, metric))
+
+    def cpu_gain(self, benchmark_name: str, profile: Profile) -> float:
+        base = self.baseline(benchmark_name)
+        value = self.measure(benchmark_name, profile)
+        return percent_change(base.cpu.execution_time, value.cpu.execution_time)

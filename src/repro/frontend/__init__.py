@@ -1,0 +1,17 @@
+"""MiniC: the small C-like guest language used to write the benchmark programs.
+
+The public entry point is :func:`compile_source`, which turns MiniC source
+text into an IR :class:`~repro.ir.Module` ready for the optimization pipeline
+and the RISC-V backend.
+"""
+
+from .codegen import compile_source, BUILTINS
+from .errors import FrontendError, LexerError, ParseError, SemanticError
+from .lexer import Token, tokenize
+from .parser import Parser, parse
+
+__all__ = [
+    "compile_source", "BUILTINS",
+    "FrontendError", "LexerError", "ParseError", "SemanticError",
+    "Token", "tokenize", "Parser", "parse",
+]

@@ -1,0 +1,149 @@
+"""Abstract syntax tree node definitions for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Node:
+    """Base class of all AST nodes."""
+
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+@dataclass
+class NumberExpr(Node):
+    value: int = 0
+
+
+@dataclass
+class VarExpr(Node):
+    name: str = ""
+
+
+@dataclass
+class IndexExpr(Node):
+    """Array indexing: ``base[index]`` where base is a named array."""
+
+    name: str = ""
+    index: "Node | None" = None
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str = ""
+    operand: "Node | None" = None
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str = ""
+    lhs: "Node | None" = None
+    rhs: "Node | None" = None
+
+
+@dataclass
+class CallExpr(Node):
+    callee: str = ""
+    args: list["Node"] = field(default_factory=list)
+
+
+# -- statements --------------------------------------------------------------
+@dataclass
+class VarDecl(Node):
+    """``var name: int = init;`` or ``var name[count];`` (local array)."""
+
+    name: str = ""
+    array_size: Optional[int] = None
+    init: "Node | None" = None
+
+
+@dataclass
+class Assign(Node):
+    """Assignment to a scalar variable or an array element."""
+
+    target: "Node | None" = None  # VarExpr or IndexExpr
+    value: "Node | None" = None
+
+
+@dataclass
+class IfStmt(Node):
+    condition: "Node | None" = None
+    then_body: list["Node"] = field(default_factory=list)
+    else_body: list["Node"] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Node):
+    condition: "Node | None" = None
+    body: list["Node"] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Node):
+    init: "Node | None" = None
+    condition: "Node | None" = None
+    step: "Node | None" = None
+    body: list["Node"] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: "Node | None" = None
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: "Node | None" = None
+
+
+# -- top-level ---------------------------------------------------------------
+@dataclass
+class GlobalDecl(Node):
+    """``global name[count];`` optionally with an initializer list."""
+
+    name: str = ""
+    count: int = 1
+    initializer: Optional[list[int]] = None
+
+
+@dataclass
+class ConstDecl(Node):
+    """``const NAME = value;`` — a compile-time integer constant."""
+
+    name: str = ""
+    value: int = 0
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+
+
+@dataclass
+class FunctionDecl(Node):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    returns_value: bool = True
+    body: list[Node] = field(default_factory=list)
+    inline_always: bool = False
+
+
+@dataclass
+class Program(Node):
+    globals: list[GlobalDecl] = field(default_factory=list)
+    constants: list[ConstDecl] = field(default_factory=list)
+    functions: list[FunctionDecl] = field(default_factory=list)

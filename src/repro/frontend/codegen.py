@@ -1,0 +1,398 @@
+"""IR code generation from the MiniC AST.
+
+The generated code is deliberately naive, mirroring what clang/rustc emit at
+-O0: every variable lives in an ``alloca`` stack slot, parameters are spilled
+on entry, and every use goes through a load.  The optimization passes
+(mem2reg, sroa, ...) are responsible for cleaning this up — exactly the
+pipeline structure whose behaviour the paper studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import SemanticError
+from ..ir import (
+    Constant, Function, GlobalVariable, IRBuilder, Module, Value,
+    I1, I32, VOID, verify_module,
+)
+from ..ir.basic_block import BasicBlock
+from ..ir.instructions import Alloca
+
+# MiniC builtin functions and the host calls they lower to.
+BUILTINS = {
+    "print": ("__print", 1),
+    "sha256": ("__sha256", 3),
+    "keccak256": ("__keccak256", 3),
+    "ecdsa_verify": ("__ecdsa_verify", 3),
+    "eddsa_verify": ("__eddsa_verify", 3),
+    "bigint_modmul": ("__bigint_modmul", 4),
+    "read_input": ("__read_input", 1),
+}
+
+
+class _LoopContext:
+    """Targets for break/continue inside the innermost enclosing loop."""
+
+    def __init__(self, break_block: BasicBlock, continue_block: BasicBlock):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class _FunctionCodegen:
+    """Generates one function's body."""
+
+    def __init__(self, module: Module, function: Function, decl: ast.FunctionDecl,
+                 globals_: dict[str, GlobalVariable], signatures: dict[str, ast.FunctionDecl]):
+        self.module = module
+        self.function = function
+        self.decl = decl
+        self.globals = globals_
+        self.signatures = signatures
+        self.builder = IRBuilder()
+        self.scalars: dict[str, Alloca] = {}
+        self.arrays: dict[str, Alloca] = {}
+        self.loop_stack: list[_LoopContext] = []
+
+    # -- entry ---------------------------------------------------------------
+    def generate(self) -> None:
+        entry = self.function.add_block("entry")
+        self.builder.position_at_end(entry)
+
+        # Spill every parameter into a stack slot (clang -O0 behaviour).
+        for param, arg in zip(self.decl.params, self.function.arguments):
+            slot = self.builder.alloca(I32, 1, name=f"{param.name}.addr")
+            self.builder.store(arg, slot)
+            self.scalars[param.name] = slot
+
+        for statement in self.decl.body:
+            self.gen_statement(statement)
+
+        # Ensure the last block is terminated.
+        if self.builder.block is not None and self.builder.block.terminator is None:
+            if self.function.return_type is VOID:
+                self.builder.ret(None)
+            else:
+                self.builder.ret(Constant(0))
+
+    # -- statements --------------------------------------------------------------
+    def gen_statement(self, stmt: ast.Node) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self.gen_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.ReturnStmt):
+            self.gen_return(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            self.gen_break(stmt)
+        elif isinstance(stmt, ast.ContinueStmt):
+            self.gen_continue(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.gen_expression(stmt.expr)
+        else:
+            raise SemanticError(f"unsupported statement {type(stmt).__name__}", stmt.line)
+
+    def gen_var_decl(self, stmt: ast.VarDecl) -> None:
+        if stmt.name in self.scalars or stmt.name in self.arrays:
+            raise SemanticError(f"redeclaration of '{stmt.name}'", stmt.line)
+        if stmt.array_size is not None:
+            slot = self._entry_alloca(I32, stmt.array_size, stmt.name)
+            self.arrays[stmt.name] = slot
+            return
+        slot = self._entry_alloca(I32, 1, stmt.name)
+        self.scalars[stmt.name] = slot
+        if stmt.init is not None:
+            value = self.gen_expression(stmt.init)
+            self.builder.store(value, slot)
+
+    def _entry_alloca(self, type_, count: int, name: str) -> Alloca:
+        """Allocas go to the entry block so mem2reg/sroa can reason about them."""
+        entry = self.function.entry_block
+        alloca = Alloca(type_, count, name)
+        index = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca):
+                index = i + 1
+        entry.insert(index, alloca)
+        return alloca
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        value = self.gen_expression(stmt.value)  # type: ignore[arg-type]
+        pointer = self.gen_lvalue(stmt.target)  # type: ignore[arg-type]
+        self.builder.store(value, pointer)
+
+    def gen_lvalue(self, target: ast.Node) -> Value:
+        if isinstance(target, ast.VarExpr):
+            slot = self.scalars.get(target.name)
+            if slot is None:
+                gv = self.globals.get(target.name)
+                if gv is not None:
+                    return gv
+                raise SemanticError(f"assignment to undeclared variable '{target.name}'",
+                                    target.line)
+            return slot
+        if isinstance(target, ast.IndexExpr):
+            base = self._array_base(target.name, target.line)
+            index = self.gen_expression(target.index)  # type: ignore[arg-type]
+            return self.builder.gep(base, index, 4)
+        raise SemanticError("invalid assignment target", target.line)
+
+    def _array_base(self, name: str, line: int) -> Value:
+        if name in self.arrays:
+            return self.arrays[name]
+        if name in self.globals:
+            return self.globals[name]
+        if name in self.scalars:
+            # Indexing a scalar pointer parameter (arrays passed by reference).
+            return self.builder.load(self.scalars[name], I32, name=f"{name}.ptr")
+        raise SemanticError(f"unknown array '{name}'", line)
+
+    def gen_if(self, stmt: ast.IfStmt) -> None:
+        condition = self.gen_condition(stmt.condition)  # type: ignore[arg-type]
+        then_block = self.function.add_block("if.then")
+        merge_block = self.function.add_block("if.end")
+        else_block = self.function.add_block("if.else") if stmt.else_body else merge_block
+        self.builder.cond_br(condition, then_block, else_block)
+
+        self.builder.position_at_end(then_block)
+        for s in stmt.then_body:
+            self.gen_statement(s)
+        if self.builder.block.terminator is None:
+            self.builder.br(merge_block)
+
+        if stmt.else_body:
+            self.builder.position_at_end(else_block)
+            for s in stmt.else_body:
+                self.gen_statement(s)
+            if self.builder.block.terminator is None:
+                self.builder.br(merge_block)
+
+        self.builder.position_at_end(merge_block)
+
+    def gen_while(self, stmt: ast.WhileStmt) -> None:
+        cond_block = self.function.add_block("while.cond")
+        body_block = self.function.add_block("while.body")
+        exit_block = self.function.add_block("while.end")
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        condition = self.gen_condition(stmt.condition)  # type: ignore[arg-type]
+        self.builder.cond_br(condition, body_block, exit_block)
+
+        self.loop_stack.append(_LoopContext(exit_block, cond_block))
+        self.builder.position_at_end(body_block)
+        for s in stmt.body:
+            self.gen_statement(s)
+        if self.builder.block.terminator is None:
+            self.builder.br(cond_block)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(exit_block)
+
+    def gen_for(self, stmt: ast.ForStmt) -> None:
+        if stmt.init is not None:
+            self.gen_statement(stmt.init)
+        cond_block = self.function.add_block("for.cond")
+        body_block = self.function.add_block("for.body")
+        step_block = self.function.add_block("for.step")
+        exit_block = self.function.add_block("for.end")
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(cond_block)
+        if stmt.condition is not None:
+            condition = self.gen_condition(stmt.condition)
+            self.builder.cond_br(condition, body_block, exit_block)
+        else:
+            self.builder.br(body_block)
+
+        self.loop_stack.append(_LoopContext(exit_block, step_block))
+        self.builder.position_at_end(body_block)
+        for s in stmt.body:
+            self.gen_statement(s)
+        if self.builder.block.terminator is None:
+            self.builder.br(step_block)
+        self.loop_stack.pop()
+
+        self.builder.position_at_end(step_block)
+        if stmt.step is not None:
+            self.gen_statement(stmt.step)
+        self.builder.br(cond_block)
+
+        self.builder.position_at_end(exit_block)
+
+    def gen_return(self, stmt: ast.ReturnStmt) -> None:
+        if stmt.value is not None:
+            value = self.gen_expression(stmt.value)
+            self.builder.ret(value)
+        elif self.function.return_type is VOID:
+            self.builder.ret(None)
+        else:
+            self.builder.ret(Constant(0))
+        # Code after a return is unreachable but must stay well-formed.
+        dead = self.function.add_block("after.ret")
+        self.builder.position_at_end(dead)
+
+    def gen_break(self, stmt: ast.BreakStmt) -> None:
+        if not self.loop_stack:
+            raise SemanticError("'break' outside of a loop", stmt.line)
+        self.builder.br(self.loop_stack[-1].break_block)
+        dead = self.function.add_block("after.break")
+        self.builder.position_at_end(dead)
+
+    def gen_continue(self, stmt: ast.ContinueStmt) -> None:
+        if not self.loop_stack:
+            raise SemanticError("'continue' outside of a loop", stmt.line)
+        self.builder.br(self.loop_stack[-1].continue_block)
+        dead = self.function.add_block("after.continue")
+        self.builder.position_at_end(dead)
+
+    # -- expressions --------------------------------------------------------------
+    def gen_condition(self, expr: ast.Node) -> Value:
+        """Generate an i1 condition from an arbitrary integer expression."""
+        value = self.gen_expression(expr)
+        if value.type is I1:
+            return value
+        return self.builder.icmp("ne", value, Constant(0), name="tobool")
+
+    def gen_expression(self, expr: ast.Node) -> Value:
+        if isinstance(expr, ast.NumberExpr):
+            return Constant(expr.value)
+        if isinstance(expr, ast.VarExpr):
+            return self.gen_var_read(expr)
+        if isinstance(expr, ast.IndexExpr):
+            base = self._array_base(expr.name, expr.line)
+            index = self.gen_expression(expr.index)  # type: ignore[arg-type]
+            pointer = self.builder.gep(base, index, 4)
+            return self.builder.load(pointer, I32)
+        if isinstance(expr, ast.UnaryExpr):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self.gen_call(expr)
+        raise SemanticError(f"unsupported expression {type(expr).__name__}", expr.line)
+
+    def gen_var_read(self, expr: ast.VarExpr) -> Value:
+        if expr.name in self.scalars:
+            return self.builder.load(self.scalars[expr.name], I32, name=expr.name)
+        if expr.name in self.arrays:
+            return self.arrays[expr.name]
+        if expr.name in self.globals:
+            return self.globals[expr.name]
+        raise SemanticError(f"use of undeclared variable '{expr.name}'", expr.line)
+
+    def gen_unary(self, expr: ast.UnaryExpr) -> Value:
+        operand = self.gen_expression(expr.operand)  # type: ignore[arg-type]
+        operand = self._as_i32(operand)
+        if expr.op == "-":
+            return self.builder.sub(Constant(0), operand, name="neg")
+        if expr.op == "~":
+            return self.builder.xor(operand, Constant(-1), name="not")
+        if expr.op == "!":
+            cmp = self.builder.icmp("eq", operand, Constant(0), name="lnot")
+            return self.builder.cast("zext", cmp, I32, name="lnot.ext")
+        raise SemanticError(f"unknown unary operator {expr.op}", expr.line)
+
+    _CMP_PREDICATES = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle",
+                       ">": "sgt", ">=": "sge"}
+    _ARITH_OPCODES = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+                      "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr", ">>>": "lshr"}
+
+    def gen_binary(self, expr: ast.BinaryExpr) -> Value:
+        if expr.op in ("&&", "||"):
+            return self.gen_logical(expr)
+        lhs = self._as_i32(self.gen_expression(expr.lhs))  # type: ignore[arg-type]
+        rhs = self._as_i32(self.gen_expression(expr.rhs))  # type: ignore[arg-type]
+        if expr.op in self._CMP_PREDICATES:
+            cmp = self.builder.icmp(self._CMP_PREDICATES[expr.op], lhs, rhs)
+            return self.builder.cast("zext", cmp, I32, name="cmp.ext")
+        if expr.op in self._ARITH_OPCODES:
+            return self.builder.binop(self._ARITH_OPCODES[expr.op], lhs, rhs)
+        raise SemanticError(f"unknown binary operator {expr.op}", expr.line)
+
+    def gen_logical(self, expr: ast.BinaryExpr) -> Value:
+        """Short-circuit && and || via a stack temporary (pre-SSA form)."""
+        result = self._entry_alloca(I32, 1, "logtmp")
+        lhs = self.gen_condition(expr.lhs)  # type: ignore[arg-type]
+        rhs_block = self.function.add_block("log.rhs")
+        merge_block = self.function.add_block("log.end")
+
+        if expr.op == "&&":
+            self.builder.store(Constant(0), result)
+            self.builder.cond_br(lhs, rhs_block, merge_block)
+        else:  # "||"
+            self.builder.store(Constant(1), result)
+            self.builder.cond_br(lhs, merge_block, rhs_block)
+
+        self.builder.position_at_end(rhs_block)
+        rhs = self.gen_condition(expr.rhs)  # type: ignore[arg-type]
+        rhs_i32 = self.builder.cast("zext", rhs, I32, name="log.ext")
+        self.builder.store(rhs_i32, result)
+        self.builder.br(merge_block)
+
+        self.builder.position_at_end(merge_block)
+        return self.builder.load(result, I32, name="log.val")
+
+    def gen_call(self, expr: ast.CallExpr) -> Value:
+        args = [self._as_i32(self.gen_expression(a)) for a in expr.args]
+        if expr.callee in BUILTINS:
+            host_name, arity = BUILTINS[expr.callee]
+            if len(args) != arity:
+                raise SemanticError(
+                    f"builtin '{expr.callee}' expects {arity} arguments, got {len(args)}",
+                    expr.line)
+            return self.builder.call(host_name, args, I32)
+        decl = self.signatures.get(expr.callee)
+        if decl is None:
+            raise SemanticError(f"call to undefined function '{expr.callee}'", expr.line)
+        if len(args) != len(decl.params):
+            raise SemanticError(
+                f"'{expr.callee}' expects {len(decl.params)} arguments, got {len(args)}",
+                expr.line)
+        return_type = I32 if decl.returns_value else VOID
+        return self.builder.call(expr.callee, args, return_type)
+
+    def _as_i32(self, value: Value) -> Value:
+        if value.type is I1:
+            return self.builder.cast("zext", value, I32, name="bool.ext")
+        return value
+
+
+def compile_source(source: str, module_name: str = "guest", verify: bool = True) -> Module:
+    """Compile MiniC source text into an IR module."""
+    from .parser import parse
+
+    program = parse(source)
+    module = Module(module_name)
+
+    globals_: dict[str, GlobalVariable] = {}
+    for decl in program.globals:
+        globals_[decl.name] = module.add_global(decl.name, I32, decl.count, decl.initializer)
+
+    signatures = {f.name: f for f in program.functions}
+    functions: dict[str, Function] = {}
+    for decl in program.functions:
+        if decl.name in functions:
+            raise SemanticError(f"duplicate function '{decl.name}'", decl.line)
+        return_type = I32 if decl.returns_value else VOID
+        function = module.create_function(decl.name, return_type,
+                                          [I32] * len(decl.params),
+                                          [p.name for p in decl.params])
+        if decl.inline_always:
+            function.attributes.add("alwaysinline")
+        functions[decl.name] = function
+
+    for decl in program.functions:
+        _FunctionCodegen(module, functions[decl.name], decl, globals_, signatures).generate()
+
+    if verify:
+        verify_module(module)
+    return module

@@ -1,0 +1,26 @@
+"""Diagnostics for the MiniC frontend."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class of all frontend diagnostics."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexerError(FrontendError):
+    """Invalid character or malformed token."""
+
+
+class ParseError(FrontendError):
+    """Syntax error."""
+
+
+class SemanticError(FrontendError):
+    """Use of undeclared names, arity mismatches, invalid assignments, ..."""

@@ -1,0 +1,352 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (informal):
+
+    program     := (global_decl | const_decl | function)*
+    global_decl := 'global' IDENT '[' NUMBER ']' ('=' '{' numbers '}')? ';'
+                 | 'global' IDENT ('=' NUMBER)? ';'
+    const_decl  := 'const' IDENT '=' expr ';'            (constant-folded)
+    function    := ('inline')? 'fn' IDENT '(' params ')' ('->' 'int')? block
+    statement   := var_decl | assign | if | while | for | return
+                 | break | continue | expr ';'
+    expression  := the usual C precedence for || && | ^ & == != < <= > >=
+                   << >> + - * / % and unary - ! ~
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast_nodes as ast
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+
+class Parser:
+    """Parses a token stream into a :class:`Program`."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.constants: dict[str, int] = {}
+
+    # -- token helpers -------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if self.check(kind, value):
+            return self.advance()
+        expected = value or kind
+        raise ParseError(f"expected {expected!r}, found {self.current.value!r}",
+                         self.current.line, self.current.column)
+
+    # -- top level -------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            if self.check("keyword", "global"):
+                program.globals.append(self.parse_global())
+            elif self.check("keyword", "const"):
+                program.constants.append(self.parse_const())
+            elif self.check("ident", "inline") or self.check("keyword", "fn"):
+                program.functions.append(self.parse_function())
+            else:
+                raise ParseError(f"unexpected token {self.current.value!r} at top level",
+                                 self.current.line, self.current.column)
+        return program
+
+    def parse_global(self) -> ast.GlobalDecl:
+        line = self.expect("keyword", "global").line
+        name = self.expect("ident").value
+        count = 1
+        initializer: Optional[list[int]] = None
+        if self.accept("op", "["):
+            count = self._constant_expression()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                initializer = []
+                if not self.check("op", "}"):
+                    initializer.append(self._constant_expression())
+                    while self.accept("op", ","):
+                        initializer.append(self._constant_expression())
+                self.expect("op", "}")
+                if len(initializer) < count:
+                    initializer = initializer + [0] * (count - len(initializer))
+            else:
+                initializer = [self._constant_expression()] + [0] * (count - 1)
+        self.expect("op", ";")
+        return ast.GlobalDecl(line=line, name=name, count=count, initializer=initializer)
+
+    def parse_const(self) -> ast.ConstDecl:
+        line = self.expect("keyword", "const").line
+        name = self.expect("ident").value
+        self.expect("op", "=")
+        value = self._constant_expression()
+        self.expect("op", ";")
+        self.constants[name] = value
+        return ast.ConstDecl(line=line, name=name, value=value)
+
+    def parse_function(self) -> ast.FunctionDecl:
+        inline_always = bool(self.accept("ident", "inline"))
+        line = self.expect("keyword", "fn").line
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.check("op", ")"):
+            params.append(self._parse_param())
+            while self.accept("op", ","):
+                params.append(self._parse_param())
+        self.expect("op", ")")
+        returns_value = False
+        if self.accept("op", "->"):
+            self.expect("keyword", "int")
+            returns_value = True
+        body = self.parse_block()
+        return ast.FunctionDecl(line=line, name=name, params=params,
+                                returns_value=returns_value, body=body,
+                                inline_always=inline_always)
+
+    def _parse_param(self) -> ast.Param:
+        token = self.expect("ident")
+        if self.accept("op", ":"):
+            self.expect("keyword", "int")
+        return ast.Param(line=token.line, name=token.value)
+
+    # -- statements --------------------------------------------------------------
+    def parse_block(self) -> list[ast.Node]:
+        self.expect("op", "{")
+        statements: list[ast.Node] = []
+        while not self.check("op", "}"):
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return statements
+
+    def parse_statement(self) -> ast.Node:
+        if self.check("keyword", "var"):
+            return self.parse_var_decl()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            return self.parse_while()
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        if self.check("keyword", "return"):
+            line = self.advance().line
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.ReturnStmt(line=line, value=value)
+        if self.check("keyword", "break"):
+            line = self.advance().line
+            self.expect("op", ";")
+            return ast.BreakStmt(line=line)
+        if self.check("keyword", "continue"):
+            line = self.advance().line
+            self.expect("op", ";")
+            return ast.ContinueStmt(line=line)
+        return self.parse_assign_or_expr()
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        line = self.expect("keyword", "var").line
+        name = self.expect("ident").value
+        if self.accept("op", "["):
+            size = self._constant_expression()
+            self.expect("op", "]")
+            self.expect("op", ";")
+            return ast.VarDecl(line=line, name=name, array_size=size)
+        if self.accept("op", ":"):
+            self.expect("keyword", "int")
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return ast.VarDecl(line=line, name=name, init=init)
+
+    def parse_if(self) -> ast.IfStmt:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        then_body = self.parse_block()
+        else_body: list[ast.Node] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.IfStmt(line=line, condition=condition,
+                          then_body=then_body, else_body=else_body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        condition = self.parse_expression()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.WhileStmt(line=line, condition=condition, body=body)
+
+    def parse_for(self) -> ast.ForStmt:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: Optional[ast.Node] = None
+        if not self.check("op", ";"):
+            if self.check("keyword", "var"):
+                init = self.parse_var_decl()
+            else:
+                init = self._parse_simple_assign()
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        condition: Optional[ast.Node] = None
+        if not self.check("op", ";"):
+            condition = self.parse_expression()
+        self.expect("op", ";")
+        step: Optional[ast.Node] = None
+        if not self.check("op", ")"):
+            step = self._parse_simple_assign()
+        self.expect("op", ")")
+        body = self.parse_block()
+        return ast.ForStmt(line=line, init=init, condition=condition, step=step, body=body)
+
+    def parse_assign_or_expr(self) -> ast.Node:
+        start = self.position
+        line = self.current.line
+        expr = self.parse_expression()
+        if self.check("op", "=") and isinstance(expr, (ast.VarExpr, ast.IndexExpr)):
+            self.advance()
+            value = self.parse_expression()
+            self.expect("op", ";")
+            return ast.Assign(line=line, target=expr, value=value)
+        self.expect("op", ";")
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def _parse_simple_assign(self) -> ast.Node:
+        """An assignment without a trailing ';' (used in for-loop clauses)."""
+        line = self.current.line
+        expr = self.parse_expression()
+        if self.check("op", "=") and isinstance(expr, (ast.VarExpr, ast.IndexExpr)):
+            self.advance()
+            value = self.parse_expression()
+            return ast.Assign(line=line, target=expr, value=value)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    # -- expressions --------------------------------------------------------------
+    # Precedence climbing, lowest first.
+    _BINARY_LEVELS = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>", ">>>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expression(self) -> ast.Node:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> ast.Node:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.value in ops:
+            op = self.advance().value
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.BinaryExpr(line=lhs.line, op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Node:
+        if self.current.kind == "op" and self.current.value in ("-", "!", "~"):
+            op = self.advance()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(line=op.line, op=op.value, operand=operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Node:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return ast.NumberExpr(line=token.line, value=int(token.value, 0))
+        if token.kind == "ident":
+            self.advance()
+            if token.value in self.constants and not self.check("op", "(") \
+                    and not self.check("op", "["):
+                return ast.NumberExpr(line=token.line, value=self.constants[token.value])
+            if self.accept("op", "("):
+                args: list[ast.Node] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expression())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expression())
+                self.expect("op", ")")
+                return ast.CallExpr(line=token.line, callee=token.value, args=args)
+            if self.accept("op", "["):
+                index = self.parse_expression()
+                self.expect("op", "]")
+                return ast.IndexExpr(line=token.line, name=token.value, index=index)
+            return ast.VarExpr(line=token.line, name=token.value)
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r} in expression",
+                         token.line, token.column)
+
+    # -- compile-time constants ------------------------------------------------
+    def _constant_expression(self) -> int:
+        expr = self.parse_expression()
+        return self._fold(expr)
+
+    def _fold(self, expr: ast.Node) -> int:
+        if isinstance(expr, ast.NumberExpr):
+            return expr.value
+        if isinstance(expr, ast.VarExpr) and expr.name in self.constants:
+            return self.constants[expr.name]
+        if isinstance(expr, ast.UnaryExpr):
+            value = self._fold(expr.operand)  # type: ignore[arg-type]
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(value == 0)
+        if isinstance(expr, ast.BinaryExpr):
+            lhs = self._fold(expr.lhs)  # type: ignore[arg-type]
+            rhs = self._fold(expr.rhs)  # type: ignore[arg-type]
+            folders = {
+                "+": lambda: lhs + rhs, "-": lambda: lhs - rhs,
+                "*": lambda: lhs * rhs, "/": lambda: lhs // rhs if rhs else 0,
+                "%": lambda: lhs % rhs if rhs else 0,
+                "<<": lambda: lhs << rhs, ">>": lambda: lhs >> rhs,
+                "&": lambda: lhs & rhs, "|": lambda: lhs | rhs, "^": lambda: lhs ^ rhs,
+            }
+            if expr.op in folders:
+                return folders[expr.op]()
+        raise ParseError("expression is not a compile-time constant", expr.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(source).parse_program()

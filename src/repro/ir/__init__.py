@@ -1,0 +1,46 @@
+"""The repro intermediate representation (IR).
+
+An LLVM-like, SSA-capable IR with typed values, basic blocks, functions and
+modules, plus the standard analyses (CFG orders, dominators, loop info) the
+optimization passes need.
+"""
+
+from .types import (
+    ArrayType, FunctionType, IntType, PointerType, Type, VoidType,
+    I1, I8, I16, I32, I64, PTR, VOID, int_type,
+)
+from .values import Argument, Constant, GlobalVariable, UndefValue, User, Value
+from .instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, CondBranch, GEP, ICmp, Instruction,
+    Load, Phi, Ret, Select, Store, Unreachable,
+    BINARY_OPS, COMMUTATIVE_OPS, DIVISION_OPS, ICMP_PREDICATES, SHIFT_OPS,
+)
+from .basic_block import BasicBlock
+from .function import Function
+from .module import Module
+from .builder import IRBuilder
+from .printer import format_function, format_instruction, format_module
+from .verifier import VerificationError, verify_function, verify_module
+from .cfg import (
+    postorder, predecessors_map, reachable_blocks, remove_unreachable_blocks,
+    reverse_postorder,
+)
+from .dominators import DominatorTree, dominance_frontiers
+from .loops import Loop, LoopInfo
+from .cloning import clone_function, clone_function_body, clone_instruction, clone_module
+
+__all__ = [
+    "ArrayType", "FunctionType", "IntType", "PointerType", "Type", "VoidType",
+    "I1", "I8", "I16", "I32", "I64", "PTR", "VOID", "int_type",
+    "Argument", "Constant", "GlobalVariable", "UndefValue", "User", "Value",
+    "Alloca", "BinaryOp", "Branch", "Call", "Cast", "CondBranch", "GEP", "ICmp",
+    "Instruction", "Load", "Phi", "Ret", "Select", "Store", "Unreachable",
+    "BINARY_OPS", "COMMUTATIVE_OPS", "DIVISION_OPS", "ICMP_PREDICATES", "SHIFT_OPS",
+    "BasicBlock", "Function", "Module", "IRBuilder",
+    "format_function", "format_instruction", "format_module",
+    "VerificationError", "verify_function", "verify_module",
+    "postorder", "predecessors_map", "reachable_blocks",
+    "remove_unreachable_blocks", "reverse_postorder",
+    "DominatorTree", "dominance_frontiers", "Loop", "LoopInfo",
+    "clone_function", "clone_function_body", "clone_instruction", "clone_module",
+]

@@ -1,0 +1,99 @@
+"""Basic blocks: straight-line sequences of instructions ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .instructions import Branch, CondBranch, Instruction, Phi
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .function import Function
+
+
+class BasicBlock(Value):
+    """A basic block owned by a function."""
+
+    def __init__(self, name: str, parent: Optional["Function"] = None):
+        from .types import VOID
+
+        super().__init__(VOID, name)
+        self.parent = parent
+        self.instructions: list[Instruction] = []
+
+    # -- structural manipulation -----------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        instruction.parent = self
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        self.instructions.insert(index, instruction)
+        instruction.parent = self
+        return instruction
+
+    def insert_before_terminator(self, instruction: Instruction) -> Instruction:
+        index = len(self.instructions)
+        if self.instructions and self.instructions[-1].is_terminator:
+            index -= 1
+        return self.insert(index, instruction)
+
+    def remove_instruction(self, instruction: Instruction) -> None:
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(list(self.instructions))
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- CFG queries ------------------------------------------------------
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        return list(getattr(term, "successors", []))
+
+    @property
+    def predecessors(self) -> list["BasicBlock"]:
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors:
+                preds.append(block)
+        return preds
+
+    def phis(self) -> list[Phi]:
+        return [inst for inst in self.instructions if isinstance(inst, Phi)]
+
+    def non_phi_instructions(self) -> list[Instruction]:
+        return [inst for inst in self.instructions if not isinstance(inst, Phi)]
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, Phi):
+                return i
+        return len(self.instructions)
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        term = self.terminator
+        if isinstance(term, (Branch, CondBranch)):
+            term.replace_successor(old, new)
+
+    def short_name(self) -> str:
+        return f"%{self.name}"
+
+    def __str__(self) -> str:
+        return self.short_name()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"BasicBlock({self.name}, {len(self.instructions)} insts)"

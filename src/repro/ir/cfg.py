@@ -1,0 +1,85 @@
+"""Control-flow-graph utilities: traversal orders and reachability."""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .function import Function
+
+
+def successors(block: BasicBlock) -> list[BasicBlock]:
+    return block.successors
+
+
+def predecessors_map(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Compute a predecessor map for every block in one pass over the CFG."""
+    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors:
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def reachable_blocks(function: Function) -> set[BasicBlock]:
+    """Blocks reachable from the entry block."""
+    if not function.blocks:
+        return set()
+    seen: set[BasicBlock] = set()
+    worklist = [function.entry_block]
+    while worklist:
+        block = worklist.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors)
+    return seen
+
+
+def postorder(function: Function) -> list[BasicBlock]:
+    """Post-order traversal of the CFG from the entry block."""
+    visited: set[BasicBlock] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        visited.add(block)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if function.blocks:
+        visit(function.entry_block)
+    return order
+
+
+def reverse_postorder(function: Function) -> list[BasicBlock]:
+    """Reverse post-order (a topological-ish order ideal for dataflow)."""
+    return list(reversed(postorder(function)))
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks not reachable from entry.  Returns the number removed."""
+    reachable = reachable_blocks(function)
+    removed = 0
+    for block in list(function.blocks):
+        if block in reachable:
+            continue
+        # Unlink phi references from reachable successors (unreachable ones are
+        # being deleted anyway and may already have been torn down).
+        for succ in block.successors:
+            if succ not in reachable:
+                continue
+            for phi in succ.phis():
+                phi.remove_incoming(block)
+        function.remove_block(block)
+        removed += 1
+    return removed

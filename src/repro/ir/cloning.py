@@ -1,0 +1,131 @@
+"""Cloning utilities: remapping copies of instructions, functions and modules.
+
+Used by ``Module.clone`` (so experiments never mutate shared benchmark IR),
+by the inliner, by loop unrolling and by the partial inliner / loop extractor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, CondBranch, GEP, ICmp, Instruction,
+    Load, Phi, Ret, Select, Store, Unreachable,
+)
+from .module import Module
+from .values import Value
+
+ValueMap = Dict[Value, Value]
+BlockMap = Dict[BasicBlock, BasicBlock]
+
+
+def _map_value(value: Value, value_map: ValueMap) -> Value:
+    return value_map.get(value, value)
+
+
+def clone_instruction(inst: Instruction, value_map: ValueMap,
+                      block_map: BlockMap) -> Instruction:
+    """Clone ``inst``, remapping operands through ``value_map`` and branch
+    targets through ``block_map``.  Phi incoming values are remapped, but the
+    caller is responsible for fixing them up if cloning an entire region
+    (values defined later may not be in the map yet)."""
+    m = lambda v: _map_value(v, value_map)
+    b = lambda blk: block_map.get(blk, blk)
+
+    if isinstance(inst, BinaryOp):
+        return BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), inst.name)
+    if isinstance(inst, ICmp):
+        return ICmp(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name)
+    if isinstance(inst, Select):
+        return Select(m(inst.condition), m(inst.true_value), m(inst.false_value), inst.name)
+    if isinstance(inst, Alloca):
+        return Alloca(inst.allocated_type, inst.count, inst.name)
+    if isinstance(inst, Load):
+        return Load(m(inst.pointer), inst.loaded_type, inst.name)
+    if isinstance(inst, Store):
+        return Store(m(inst.value), m(inst.pointer))
+    if isinstance(inst, GEP):
+        return GEP(m(inst.base), m(inst.index), inst.element_size, inst.name)
+    if isinstance(inst, Branch):
+        return Branch(b(inst.target))
+    if isinstance(inst, CondBranch):
+        return CondBranch(m(inst.condition), b(inst.true_target), b(inst.false_target))
+    if isinstance(inst, Ret):
+        return Ret(m(inst.value) if inst.value is not None else None)
+    if isinstance(inst, Unreachable):
+        return Unreachable()
+    if isinstance(inst, Call):
+        return Call(inst.callee, [m(a) for a in inst.args], inst.type, inst.name)
+    if isinstance(inst, Cast):
+        return Cast(inst.opcode, m(inst.value), inst.type, inst.name)  # type: ignore[arg-type]
+    if isinstance(inst, Phi):
+        phi = Phi(inst.type, inst.name)
+        for value, block in inst.incoming:
+            phi.add_incoming(m(value), b(block))
+        return phi
+    raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")
+
+
+def clone_function_body(source: Function, target: Function,
+                        value_map: ValueMap | None = None) -> tuple[ValueMap, BlockMap]:
+    """Copy the body of ``source`` into the (empty) function ``target``.
+
+    Returns the value and block maps so callers can locate cloned values.
+    """
+    value_map = dict(value_map or {})
+    for src_arg, dst_arg in zip(source.arguments, target.arguments):
+        value_map.setdefault(src_arg, dst_arg)
+
+    block_map: BlockMap = {}
+    for block in source.blocks:
+        new_block = BasicBlock(block.name, target)
+        target.blocks.append(new_block)
+        block_map[block] = new_block
+
+    phi_fixups: list[tuple[Phi, Phi]] = []
+    for block in source.blocks:
+        new_block = block_map[block]
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                new_phi = Phi(inst.type, inst.name)
+                new_block.append(new_phi)
+                value_map[inst] = new_phi
+                phi_fixups.append((inst, new_phi))
+            else:
+                new_inst = clone_instruction(inst, value_map, block_map)
+                new_block.append(new_inst)
+                if inst.has_result:
+                    value_map[inst] = new_inst
+
+    # Second pass: phi incoming values may refer to values defined anywhere.
+    for old_phi, new_phi in phi_fixups:
+        for value, block in old_phi.incoming:
+            new_phi.add_incoming(_map_value(value, value_map), block_map.get(block, block))
+
+    target._name_counter = source._name_counter
+    return value_map, block_map
+
+
+def clone_function(source: Function, module: Module | None = None,
+                   new_name: str | None = None) -> Function:
+    """Create a standalone deep copy of a function."""
+    target = Function(new_name or source.name, source.return_type,
+                      [a.type for a in source.arguments],
+                      [a.name for a in source.arguments], module)
+    target.attributes = set(source.attributes)
+    clone_function_body(source, target)
+    return target
+
+
+def clone_module(module: Module) -> Module:
+    """Deep-copy an entire module, including globals."""
+    new_module = Module(module.name)
+    for gv in module.globals.values():
+        new_module.add_global(gv.name, gv.element_type, gv.count,
+                              list(gv.initializer) if gv.initializer is not None else None)
+    for function in module.functions.values():
+        cloned = clone_function(function, new_module)
+        new_module.add_function(cloned)
+    return new_module

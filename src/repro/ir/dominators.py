@@ -1,0 +1,124 @@
+"""Dominator tree and dominance frontier (Cooper-Harvey-Kennedy algorithm)."""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .cfg import predecessors_map, reverse_postorder
+from .function import Function
+from .instructions import Instruction, Phi
+from .values import Value
+
+
+class DominatorTree:
+    """Immediate-dominator tree of a function's CFG."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: dict[BasicBlock, BasicBlock] = {}
+        self._children: dict[BasicBlock, list[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        preds = predecessors_map(self.function)
+        idom: dict[BasicBlock, BasicBlock | None] = {b: None for b in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                new_idom: BasicBlock | None = None
+                for pred in preds[block]:
+                    if pred not in self._rpo_index or idom.get(pred) is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, idom)
+                if new_idom is not None and idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = {b: d for b, d in idom.items() if d is not None}
+        self._children = {b: [] for b in self.rpo}
+        for block, dom in self.idom.items():
+            if block is not dom:
+                self._children[dom].append(block)
+
+    def _intersect(self, b1: BasicBlock, b2: BasicBlock,
+                   idom: dict[BasicBlock, BasicBlock | None]) -> BasicBlock:
+        index = self._rpo_index
+        while b1 is not b2:
+            while index[b1] > index[b2]:
+                b1 = idom[b1]  # type: ignore[assignment]
+            while index[b2] > index[b1]:
+                b2 = idom[b2]  # type: ignore[assignment]
+        return b1
+
+    # -- queries -----------------------------------------------------------
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if block ``a`` dominates block ``b`` (including a == b)."""
+        if a is b:
+            return True
+        runner = self.idom.get(b)
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is self.idom.get(runner):
+                break
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> list[BasicBlock]:
+        return list(self._children.get(block, []))
+
+    def instruction_dominates(self, a: Instruction, b: Instruction) -> bool:
+        """True if instruction ``a`` dominates instruction ``b``."""
+        if a.parent is b.parent and a.parent is not None:
+            block = a.parent
+            return block.instructions.index(a) < block.instructions.index(b)
+        if a.parent is None or b.parent is None:
+            return False
+        return self.strictly_dominates(a.parent, b.parent)
+
+    def value_dominates_use(self, value: Value, user: Instruction) -> bool:
+        """True if ``value`` is available at ``user`` (arguments/constants always are)."""
+        if not isinstance(value, Instruction):
+            return True
+        if isinstance(user, Phi):
+            # A phi's operand only needs to dominate the end of the incoming block.
+            for incoming_value, incoming_block in user.incoming:
+                if incoming_value is value and value.parent is not None:
+                    if not self.dominates(value.parent, incoming_block):
+                        return False
+            return True
+        return self.instruction_dominates(value, user)
+
+
+def dominance_frontiers(function: Function,
+                        domtree: DominatorTree | None = None) -> dict[BasicBlock, set[BasicBlock]]:
+    """Compute the dominance frontier of every block (used by mem2reg)."""
+    domtree = domtree or DominatorTree(function)
+    preds = predecessors_map(function)
+    frontiers: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in function.blocks}
+    for block in domtree.rpo:
+        block_preds = preds.get(block, [])
+        if len(block_preds) < 2:
+            continue
+        for pred in block_preds:
+            if pred not in domtree.idom:
+                continue
+            runner = pred
+            while runner is not domtree.idom.get(block) and runner in domtree.idom:
+                frontiers[runner].add(block)
+                next_runner = domtree.idom[runner]
+                if next_runner is runner:
+                    break
+                runner = next_runner
+    return frontiers

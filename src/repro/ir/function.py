@@ -1,0 +1,84 @@
+"""Functions: named lists of basic blocks with typed arguments."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .basic_block import BasicBlock
+from .instructions import Instruction
+from .types import Type, I32
+from .values import Argument, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import Module
+
+
+class Function(Value):
+    """A function definition (or declaration, when it has no blocks)."""
+
+    def __init__(self, name: str, return_type: Type = I32,
+                 param_types: list[Type] | None = None,
+                 param_names: list[str] | None = None,
+                 module: Optional["Module"] = None):
+        from .types import PTR
+
+        super().__init__(PTR, name)
+        self.return_type = return_type
+        param_types = param_types or []
+        param_names = param_names or [f"arg{i}" for i in range(len(param_types))]
+        self.arguments = [Argument(t, n, i) for i, (t, n) in enumerate(zip(param_types, param_names))]
+        self.blocks: list[BasicBlock] = []
+        self.module = module
+        # Function attributes honoured by the pass pipeline.
+        self.attributes: set[str] = set()
+        self._name_counter = 0
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def is_declaration(self) -> bool:
+        return not self.blocks
+
+    @property
+    def entry_block(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def add_block(self, name: str, after: Optional[BasicBlock] = None) -> BasicBlock:
+        block = BasicBlock(self.unique_name(name), self)
+        if after is None:
+            self.blocks.append(block)
+        else:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        return block
+
+    def remove_block(self, block: BasicBlock) -> None:
+        for inst in list(block.instructions):
+            inst.drop_all_references()
+        self.blocks.remove(block)
+        block.parent = None
+
+    def unique_name(self, base: str) -> str:
+        self._name_counter += 1
+        return f"{base}.{self._name_counter}"
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(list(self.blocks))
+
+    def short_name(self) -> str:
+        return f"@{self.name}"
+
+    def __str__(self) -> str:
+        from .printer import format_function
+
+        return format_function(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Function({self.name}, {len(self.blocks)} blocks)"

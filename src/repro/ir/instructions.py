@@ -1,0 +1,403 @@
+"""Instruction classes of the repro IR.
+
+The instruction set intentionally mirrors the LLVM instructions that the
+paper's analysis talks about: integer arithmetic, comparisons, select,
+memory (alloca / load / store / getelementptr), control flow (br / ret),
+calls and phi nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .types import IntType, Type, I1, I32, PTR, VOID
+from .values import Constant, User, Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .basic_block import BasicBlock
+    from .function import Function
+
+
+# Opcode groups used by passes and by the backend.
+BINARY_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+)
+ICMP_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor"})
+DIVISION_OPS = frozenset({"sdiv", "udiv", "srem", "urem"})
+SHIFT_OPS = frozenset({"shl", "lshr", "ashr"})
+
+
+class Instruction(User):
+    """Base class of all instructions."""
+
+    opcode = "<abstract>"
+
+    def __init__(self, type_: Type, operands: Sequence[Value] = (), name: str = ""):
+        super().__init__(type_, name)
+        self.parent: Optional["BasicBlock"] = None
+        self.set_operands(operands)
+
+    # -- classification helpers used throughout the pass pipeline ---------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Branch, CondBranch, Ret, Unreachable))
+
+    @property
+    def has_result(self) -> bool:
+        return not isinstance(self.type, type(VOID))
+
+    @property
+    def has_side_effects(self) -> bool:
+        """Whether this instruction writes memory or transfers control."""
+        return isinstance(self, (Store, Call, Ret, Branch, CondBranch, Unreachable))
+
+    @property
+    def may_read_memory(self) -> bool:
+        return isinstance(self, (Load, Call))
+
+    @property
+    def may_write_memory(self) -> bool:
+        return isinstance(self, (Store, Call))
+
+    @property
+    def may_trap(self) -> bool:
+        """Division can trap (divide by a non-constant zero)."""
+        if isinstance(self, BinaryOp) and self.opcode in DIVISION_OPS:
+            divisor = self.rhs
+            return not (isinstance(divisor, Constant) and divisor.value != 0)
+        return False
+
+    def is_safe_to_speculate(self) -> bool:
+        """True if the instruction can be hoisted past control flow."""
+        return not self.has_side_effects and not self.may_read_memory and not self.may_trap
+
+    def erase(self) -> None:
+        """Remove this instruction from its parent block and drop operand uses."""
+        if self.parent is not None:
+            self.parent.remove_instruction(self)
+        self.drop_all_references()
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def clone(self) -> "Instruction":
+        """Create a copy of this instruction with the same operands."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        from .printer import format_instruction
+
+        return format_instruction(self)
+
+
+class BinaryOp(Instruction):
+    """An integer binary operation (add, sub, mul, div, rem, bitwise, shifts)."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
+        if opcode not in BINARY_OPS:
+            raise ValueError(f"unknown binary opcode: {opcode}")
+        self.opcode = opcode
+        super().__init__(lhs.type, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.get_operand(1)
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPS
+
+    def clone(self) -> "BinaryOp":
+        return BinaryOp(self.opcode, self.lhs, self.rhs, self.name)
+
+
+class ICmp(Instruction):
+    """Integer comparison producing an i1."""
+
+    opcode = "icmp"
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise ValueError(f"unknown icmp predicate: {predicate}")
+        self.predicate = predicate
+        super().__init__(I1, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def rhs(self) -> Value:
+        return self.get_operand(1)
+
+    def clone(self) -> "ICmp":
+        return ICmp(self.predicate, self.lhs, self.rhs, self.name)
+
+
+class Select(Instruction):
+    """``select cond, a, b`` — returns ``a`` if cond is true else ``b``."""
+
+    opcode = "select"
+
+    def __init__(self, cond: Value, true_value: Value, false_value: Value, name: str = ""):
+        super().__init__(true_value.type, [cond, true_value, false_value], name)
+
+    @property
+    def condition(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def true_value(self) -> Value:
+        return self.get_operand(1)
+
+    @property
+    def false_value(self) -> Value:
+        return self.get_operand(2)
+
+    def clone(self) -> "Select":
+        return Select(self.condition, self.true_value, self.false_value, self.name)
+
+
+class Alloca(Instruction):
+    """Stack allocation of ``count`` elements of ``allocated_type``."""
+
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, count: int = 1, name: str = ""):
+        self.allocated_type = allocated_type
+        self.count = count
+        super().__init__(PTR, [], name)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.allocated_type.size_bytes * self.count
+
+    def clone(self) -> "Alloca":
+        return Alloca(self.allocated_type, self.count, self.name)
+
+
+class Load(Instruction):
+    """Load a scalar of ``loaded_type`` from a pointer."""
+
+    opcode = "load"
+
+    def __init__(self, pointer: Value, loaded_type: Type = I32, name: str = ""):
+        self.loaded_type = loaded_type
+        super().__init__(loaded_type, [pointer], name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.get_operand(0)
+
+    def clone(self) -> "Load":
+        return Load(self.pointer, self.loaded_type, self.name)
+
+
+class Store(Instruction):
+    """Store a scalar value to a pointer."""
+
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value):
+        super().__init__(VOID, [value, pointer])
+
+    @property
+    def value(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def pointer(self) -> Value:
+        return self.get_operand(1)
+
+    def clone(self) -> "Store":
+        return Store(self.value, self.pointer)
+
+
+class GEP(Instruction):
+    """Simplified getelementptr: ``result = base + index * element_size``."""
+
+    opcode = "getelementptr"
+
+    def __init__(self, base: Value, index: Value, element_size: int = 4, name: str = ""):
+        self.element_size = element_size
+        super().__init__(PTR, [base, index], name)
+
+    @property
+    def base(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def index(self) -> Value:
+        return self.get_operand(1)
+
+    def clone(self) -> "GEP":
+        return GEP(self.base, self.index, self.element_size, self.name)
+
+
+class Branch(Instruction):
+    """Unconditional branch."""
+
+    opcode = "br"
+
+    def __init__(self, target: "BasicBlock"):
+        self.target = target
+        super().__init__(VOID, [])
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+    def clone(self) -> "Branch":
+        return Branch(self.target)
+
+
+class CondBranch(Instruction):
+    """Conditional branch on an i1 condition."""
+
+    opcode = "br"
+
+    def __init__(self, condition: Value, true_target: "BasicBlock", false_target: "BasicBlock"):
+        self.true_target = true_target
+        self.false_target = false_target
+        super().__init__(VOID, [condition])
+
+    @property
+    def condition(self) -> Value:
+        return self.get_operand(0)
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [self.true_target, self.false_target]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.true_target is old:
+            self.true_target = new
+        if self.false_target is old:
+            self.false_target = new
+
+    def clone(self) -> "CondBranch":
+        return CondBranch(self.condition, self.true_target, self.false_target)
+
+
+class Ret(Instruction):
+    """Return from the current function, optionally with a value."""
+
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None):
+        super().__init__(VOID, [value] if value is not None else [])
+
+    @property
+    def value(self) -> Optional[Value]:
+        ops = self.operands
+        return ops[0] if ops else None
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+    def clone(self) -> "Ret":
+        return Ret(self.value)
+
+
+class Unreachable(Instruction):
+    """Marks unreachable control flow (e.g. after a call to abort)."""
+
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__(VOID, [])
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+    def clone(self) -> "Unreachable":
+        return Unreachable()
+
+
+class Call(Instruction):
+    """A direct call to another function in the module (by name)."""
+
+    opcode = "call"
+
+    def __init__(self, callee: str, args: Sequence[Value], return_type: Type = I32, name: str = ""):
+        self.callee = callee
+        super().__init__(return_type, list(args), name)
+
+    @property
+    def args(self) -> list[Value]:
+        return self.operands
+
+    def clone(self) -> "Call":
+        return Call(self.callee, self.args, self.type, self.name)
+
+
+class Phi(Instruction):
+    """SSA phi node.  Incoming values are kept parallel to incoming blocks."""
+
+    opcode = "phi"
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.incoming_blocks: list["BasicBlock"] = []
+        super().__init__(type_, [], name)
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self._operands.append(value)
+        value.add_user(self)
+        self.incoming_blocks.append(block)
+
+    @property
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for_block(self, block: "BasicBlock") -> Optional[Value]:
+        for value, pred in self.incoming:
+            if pred is block:
+                return value
+        return None
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, pred in enumerate(self.incoming_blocks):
+            if pred is block:
+                value = self._operands.pop(i)
+                value.remove_user(self)
+                self.incoming_blocks.pop(i)
+                return
+
+    def replace_incoming_block(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.incoming_blocks = [new if b is old else b for b in self.incoming_blocks]
+
+    def clone(self) -> "Phi":
+        phi = Phi(self.type, self.name)
+        for value, block in self.incoming:
+            phi.add_incoming(value, block)
+        return phi
+
+
+class Cast(Instruction):
+    """zext / sext / trunc between integer widths."""
+
+    def __init__(self, opcode: str, value: Value, to_type: IntType, name: str = ""):
+        if opcode not in ("zext", "sext", "trunc"):
+            raise ValueError(f"unknown cast opcode: {opcode}")
+        self.opcode = opcode
+        super().__init__(to_type, [value], name)
+
+    @property
+    def value(self) -> Value:
+        return self.get_operand(0)
+
+    def clone(self) -> "Cast":
+        return Cast(self.opcode, self.value, self.type, self.name)  # type: ignore[arg-type]

@@ -1,0 +1,282 @@
+"""A reference interpreter for the IR.
+
+The interpreter gives the IR an executable semantics that is independent of
+the RISC-V backend.  It is used by the test suite for differential testing:
+every optimization pass must preserve the observable behaviour (return value
+and output stream) of every program it transforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, CondBranch, GEP, ICmp, Instruction,
+    Load, Phi, Ret, Select, Store, Unreachable,
+)
+from .module import Module
+from .types import IntType, I32
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class InterpreterError(Exception):
+    """Raised on malformed programs (missing function, bad memory access, ...)."""
+
+
+def _to_signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of interpreting a module."""
+
+    return_value: int
+    output: list[int] = field(default_factory=list)
+    instructions_executed: int = 0
+
+
+class Interpreter:
+    """Executes IR modules with a simple flat word-addressed memory."""
+
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.memory: dict[int, int] = {}
+        self.output: list[int] = []
+        self.steps = 0
+        self._next_address = 0x1000
+        self._global_addresses: dict[str, int] = {}
+        self._allocate_globals()
+
+    # -- memory ------------------------------------------------------------
+    def _allocate_globals(self) -> None:
+        for gv in self.module.globals.values():
+            address = self._allocate(gv.size_bytes)
+            self._global_addresses[gv.name] = address
+            if gv.initializer is not None:
+                elem_size = gv.element_type.size_bytes
+                for i, value in enumerate(gv.initializer):
+                    self._write_word(address + i * elem_size, value)
+
+    def _allocate(self, size_bytes: int) -> int:
+        address = self._next_address
+        self._next_address += max(4, (size_bytes + 3) & ~3)
+        return address
+
+    def _read_word(self, address: int) -> int:
+        return self.memory.get(address & WORD_MASK, 0)
+
+    def _write_word(self, address: int, value: int) -> None:
+        self.memory[address & WORD_MASK] = value & WORD_MASK
+
+    # -- entry point --------------------------------------------------------
+    def run(self, entry: str = "main", args: Optional[list[int]] = None) -> ExecutionResult:
+        function = self.module.get_function(entry)
+        if function is None or function.is_declaration:
+            raise InterpreterError(f"no definition for entry function '{entry}'")
+        args = args or []
+        result = self._call(function, [a & WORD_MASK for a in args])
+        return ExecutionResult(return_value=_to_signed(result),
+                               output=list(self.output),
+                               instructions_executed=self.steps)
+
+    # -- evaluation ----------------------------------------------------------
+    def _value(self, value: Value, env: dict[Value, int]) -> int:
+        if isinstance(value, Constant):
+            return value.value & WORD_MASK
+        if isinstance(value, GlobalVariable):
+            return self._global_addresses[value.name]
+        if isinstance(value, UndefValue):
+            return 0
+        if value in env:
+            return env[value]
+        raise InterpreterError(f"use of value with no definition: {value}")
+
+    def _call(self, function: Function, args: list[int]) -> int:
+        if len(args) != len(function.arguments):
+            raise InterpreterError(
+                f"{function.name}: expected {len(function.arguments)} arguments, got {len(args)}")
+        env: dict[Value, int] = {arg: value for arg, value in zip(function.arguments, args)}
+        block = function.entry_block
+        previous_block: Optional[BasicBlock] = None
+
+        while True:
+            # Phi nodes are evaluated simultaneously on block entry.
+            phi_values: dict[Value, int] = {}
+            for phi in block.phis():
+                if previous_block is None:
+                    raise InterpreterError(f"phi in entry block of {function.name}")
+                incoming = phi.incoming_for_block(previous_block)
+                if incoming is None:
+                    raise InterpreterError(
+                        f"{function.name}/{block.name}: phi %{phi.name} has no entry for "
+                        f"predecessor {previous_block.name}")
+                phi_values[phi] = self._value(incoming, env)
+                self.steps += 1
+            env.update(phi_values)
+
+            for inst in block.non_phi_instructions():
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpreterError("interpreter step limit exceeded")
+                outcome = self._execute(inst, env)
+                if isinstance(outcome, _Return):
+                    return outcome.value
+                if isinstance(outcome, _Jump):
+                    previous_block, block = block, outcome.target
+                    break
+            else:
+                raise InterpreterError(
+                    f"{function.name}/{block.name}: fell off the end of a block")
+
+    def _execute(self, inst: Instruction, env: dict[Value, int]):
+        if isinstance(inst, BinaryOp):
+            env[inst] = self._binop(inst.opcode, self._value(inst.lhs, env),
+                                    self._value(inst.rhs, env))
+            return None
+        if isinstance(inst, ICmp):
+            env[inst] = int(self._icmp(inst.predicate, self._value(inst.lhs, env),
+                                       self._value(inst.rhs, env)))
+            return None
+        if isinstance(inst, Select):
+            cond = self._value(inst.condition, env)
+            env[inst] = self._value(inst.true_value if cond & 1 else inst.false_value, env)
+            return None
+        if isinstance(inst, Alloca):
+            if inst not in env:
+                env[inst] = self._allocate(inst.size_bytes)
+            return None
+        if isinstance(inst, Load):
+            env[inst] = self._read_word(self._value(inst.pointer, env))
+            return None
+        if isinstance(inst, Store):
+            self._write_word(self._value(inst.pointer, env), self._value(inst.value, env))
+            return None
+        if isinstance(inst, GEP):
+            base = self._value(inst.base, env)
+            index = _to_signed(self._value(inst.index, env))
+            env[inst] = (base + index * inst.element_size) & WORD_MASK
+            return None
+        if isinstance(inst, Cast):
+            env[inst] = self._cast(inst, self._value(inst.value, env))
+            return None
+        if isinstance(inst, Branch):
+            return _Jump(inst.target)
+        if isinstance(inst, CondBranch):
+            cond = self._value(inst.condition, env)
+            return _Jump(inst.true_target if cond & 1 else inst.false_target)
+        if isinstance(inst, Ret):
+            return _Return(self._value(inst.value, env) if inst.value is not None else 0)
+        if isinstance(inst, Unreachable):
+            raise InterpreterError("executed 'unreachable'")
+        if isinstance(inst, Call):
+            env[inst] = self._do_call(inst, env)
+            return None
+        raise InterpreterError(f"cannot interpret instruction {type(inst).__name__}")
+
+    def _do_call(self, inst: Call, env: dict[Value, int]) -> int:
+        args = [self._value(a, env) for a in inst.args]
+        if inst.callee.startswith("__"):
+            return self._host_call(inst.callee, args)
+        callee = self.module.get_function(inst.callee)
+        if callee is None or callee.is_declaration:
+            raise InterpreterError(f"call to undefined function '{inst.callee}'")
+        return self._call(callee, args)
+
+    def _host_call(self, name: str, args: list[int]) -> int:
+        """Host/environment calls, mirroring the zkVM guest API."""
+        from ..zkvm.precompiles import interpret_host_call
+
+        return interpret_host_call(name, args, self)
+
+    # -- scalar semantics ----------------------------------------------------
+    @staticmethod
+    def _binop(opcode: str, lhs: int, rhs: int) -> int:
+        slhs, srhs = _to_signed(lhs), _to_signed(rhs)
+        if opcode == "add":
+            return (lhs + rhs) & WORD_MASK
+        if opcode == "sub":
+            return (lhs - rhs) & WORD_MASK
+        if opcode == "mul":
+            return (lhs * rhs) & WORD_MASK
+        if opcode == "sdiv":
+            if srhs == 0:
+                return WORD_MASK  # RISC-V semantics: division by zero yields -1
+            result = abs(slhs) // abs(srhs)
+            if (slhs < 0) != (srhs < 0):
+                result = -result
+            return result & WORD_MASK
+        if opcode == "udiv":
+            return (lhs // rhs) & WORD_MASK if rhs != 0 else WORD_MASK
+        if opcode == "srem":
+            if srhs == 0:
+                return lhs
+            result = abs(slhs) % abs(srhs)
+            if slhs < 0:
+                result = -result
+            return result & WORD_MASK
+        if opcode == "urem":
+            return (lhs % rhs) & WORD_MASK if rhs != 0 else lhs
+        if opcode == "and":
+            return lhs & rhs
+        if opcode == "or":
+            return lhs | rhs
+        if opcode == "xor":
+            return lhs ^ rhs
+        if opcode == "shl":
+            return (lhs << (rhs & 31)) & WORD_MASK
+        if opcode == "lshr":
+            return (lhs >> (rhs & 31)) & WORD_MASK
+        if opcode == "ashr":
+            return (slhs >> (rhs & 31)) & WORD_MASK
+        raise InterpreterError(f"unknown binary opcode {opcode}")
+
+    @staticmethod
+    def _icmp(predicate: str, lhs: int, rhs: int) -> bool:
+        slhs, srhs = _to_signed(lhs), _to_signed(rhs)
+        table = {
+            "eq": lhs == rhs, "ne": lhs != rhs,
+            "slt": slhs < srhs, "sle": slhs <= srhs,
+            "sgt": slhs > srhs, "sge": slhs >= srhs,
+            "ult": lhs < rhs, "ule": lhs <= rhs,
+            "ugt": lhs > rhs, "uge": lhs >= rhs,
+        }
+        return table[predicate]
+
+    @staticmethod
+    def _cast(inst: Cast, value: int) -> int:
+        bits = inst.type.bits  # type: ignore[attr-defined]
+        if inst.opcode == "trunc":
+            return value & ((1 << bits) - 1)
+        if inst.opcode == "zext":
+            return value & WORD_MASK
+        # sext: sign-extend from the operand's width.
+        src_bits = inst.value.type.bits if isinstance(inst.value.type, IntType) else 32
+        value &= (1 << src_bits) - 1
+        if value >= (1 << (src_bits - 1)):
+            value -= 1 << src_bits
+        return value & WORD_MASK
+
+
+@dataclass
+class _Jump:
+    target: BasicBlock
+
+
+@dataclass
+class _Return:
+    value: int
+
+
+def run_module(module: Module, entry: str = "main",
+               args: Optional[list[int]] = None,
+               max_steps: int = 50_000_000) -> ExecutionResult:
+    """Convenience wrapper: interpret ``module`` starting at ``entry``."""
+    return Interpreter(module, max_steps=max_steps).run(entry, args)

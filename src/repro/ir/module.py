@@ -1,0 +1,64 @@
+"""Modules: the top-level container of functions and global variables."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .function import Function
+from .types import Type, I32
+from .values import GlobalVariable
+
+
+class Module:
+    """A translation unit containing functions and globals."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function: {function.name}")
+        function.module = self
+        self.functions[function.name] = function
+        return function
+
+    def create_function(self, name: str, return_type: Type = I32,
+                        param_types: list[Type] | None = None,
+                        param_names: list[str] | None = None) -> Function:
+        return self.add_function(Function(name, return_type, param_types, param_names, self))
+
+    def get_function(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def add_global(self, name: str, element_type: Type = I32, count: int = 1,
+                   initializer: list[int] | None = None) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global: {name}")
+        gv = GlobalVariable(name, element_type, count, initializer)
+        self.globals[name] = gv
+        return gv
+
+    def get_global(self, name: str) -> Optional[GlobalVariable]:
+        return self.globals.get(name)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(list(self.functions.values()))
+
+    def defined_functions(self) -> list[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.defined_functions())
+
+    def clone(self) -> "Module":
+        """Deep-copy the module (used so that passes never mutate benchmark IR)."""
+        from .cloning import clone_module
+
+        return clone_module(self)
+
+    def __str__(self) -> str:
+        from .printer import format_module
+
+        return format_module(self)

@@ -1,0 +1,95 @@
+"""Textual dumping of IR, in an LLVM-flavoured syntax.
+
+The printer is used for debugging, for golden tests and by the verifier's
+error messages.  It assigns stable local numbers to unnamed values.
+"""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .function import Function
+from .instructions import (
+    Alloca, BinaryOp, Branch, Call, Cast, CondBranch, GEP, ICmp, Instruction,
+    Load, Phi, Ret, Select, Store, Unreachable,
+)
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+def _value_ref(value: Value) -> str:
+    if isinstance(value, Constant):
+        return str(value.signed_value)
+    if isinstance(value, UndefValue):
+        return "undef"
+    if isinstance(value, (GlobalVariable, Function)):
+        return f"@{value.name}"
+    if isinstance(value, BasicBlock):
+        return f"%{value.name}"
+    return f"%{value.name}" if value.name else "%<anon>"
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Format a single instruction."""
+    ref = _value_ref
+    if isinstance(inst, BinaryOp):
+        return f"%{inst.name} = {inst.opcode} {inst.type} {ref(inst.lhs)}, {ref(inst.rhs)}"
+    if isinstance(inst, ICmp):
+        return f"%{inst.name} = icmp {inst.predicate} {ref(inst.lhs)}, {ref(inst.rhs)}"
+    if isinstance(inst, Select):
+        return (f"%{inst.name} = select {ref(inst.condition)}, "
+                f"{ref(inst.true_value)}, {ref(inst.false_value)}")
+    if isinstance(inst, Alloca):
+        return f"%{inst.name} = alloca {inst.allocated_type} x {inst.count}"
+    if isinstance(inst, Load):
+        return f"%{inst.name} = load {inst.loaded_type}, {ref(inst.pointer)}"
+    if isinstance(inst, Store):
+        return f"store {ref(inst.value)}, {ref(inst.pointer)}"
+    if isinstance(inst, GEP):
+        return (f"%{inst.name} = getelementptr {ref(inst.base)}, "
+                f"{ref(inst.index)} x {inst.element_size}")
+    if isinstance(inst, Branch):
+        return f"br label %{inst.target.name}"
+    if isinstance(inst, CondBranch):
+        return (f"br {ref(inst.condition)}, label %{inst.true_target.name}, "
+                f"label %{inst.false_target.name}")
+    if isinstance(inst, Ret):
+        return f"ret {ref(inst.value)}" if inst.value is not None else "ret void"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Call):
+        args = ", ".join(ref(a) for a in inst.args)
+        prefix = f"%{inst.name} = " if inst.has_result else ""
+        return f"{prefix}call {inst.type} @{inst.callee}({args})"
+    if isinstance(inst, Phi):
+        pairs = ", ".join(f"[ {ref(v)}, %{b.name} ]" for v, b in inst.incoming)
+        return f"%{inst.name} = phi {inst.type} {pairs}"
+    if isinstance(inst, Cast):
+        return f"%{inst.name} = {inst.opcode} {ref(inst.value)} to {inst.type}"
+    return f"<unknown instruction {type(inst).__name__}>"
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    params = ", ".join(f"{a.type} %{a.name}" for a in function.arguments)
+    attrs = (" " + " ".join(sorted(function.attributes))) if function.attributes else ""
+    header = f"define {function.return_type} @{function.name}({params}){attrs} {{"
+    if function.is_declaration:
+        return f"declare {function.return_type} @{function.name}({params})"
+    body = "\n".join(format_block(b) for b in function.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module: {module.name}"]
+    for gv in module.globals.values():
+        init = "zeroinitializer" if gv.initializer is None else str(gv.initializer[:8])
+        parts.append(f"@{gv.name} = global [{gv.count} x {gv.element_type}] {init}")
+    for function in module.functions.values():
+        parts.append(format_function(function))
+    return "\n\n".join(parts)

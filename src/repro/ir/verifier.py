@@ -1,0 +1,115 @@
+"""Structural verification of IR, run after the frontend and after each pass
+in debug/test configurations.  Mirrors (a small part of) LLVM's verifier."""
+
+from __future__ import annotations
+
+from .basic_block import BasicBlock
+from .cfg import reachable_blocks
+from .dominators import DominatorTree
+from .function import Function
+from .instructions import Branch, Call, CondBranch, Instruction, Phi, Ret, Unreachable
+from .module import Module
+from .values import Argument, Constant, GlobalVariable, UndefValue, Value
+
+
+class VerificationError(Exception):
+    """Raised when the IR violates a structural invariant."""
+
+
+def verify_module(module: Module, check_dominance: bool = True) -> None:
+    """Verify every defined function in the module."""
+    for function in module.defined_functions():
+        verify_function(function, module, check_dominance=check_dominance)
+
+
+def verify_function(function: Function, module: Module | None = None,
+                    check_dominance: bool = True) -> None:
+    """Check structural invariants; raise :class:`VerificationError` on failure."""
+    if not function.blocks:
+        return
+    block_set = set(function.blocks)
+
+    for block in function.blocks:
+        _verify_block(function, block, block_set, module)
+
+    if check_dominance:
+        _verify_dominance(function)
+
+
+def _verify_block(function: Function, block: BasicBlock, block_set: set[BasicBlock],
+                  module: Module | None) -> None:
+    if not block.instructions:
+        raise VerificationError(f"{function.name}/{block.name}: empty basic block")
+    term = block.instructions[-1]
+    if not term.is_terminator:
+        raise VerificationError(
+            f"{function.name}/{block.name}: block does not end with a terminator")
+    for inst in block.instructions[:-1]:
+        if inst.is_terminator:
+            raise VerificationError(
+                f"{function.name}/{block.name}: terminator in the middle of a block")
+
+    seen_non_phi = False
+    for inst in block.instructions:
+        if inst.parent is not block:
+            raise VerificationError(
+                f"{function.name}/{block.name}: instruction parent link is broken")
+        if isinstance(inst, Phi):
+            if seen_non_phi:
+                raise VerificationError(
+                    f"{function.name}/{block.name}: phi after non-phi instruction")
+        else:
+            seen_non_phi = True
+
+    # Branch targets must be blocks of this function.
+    for succ in block.successors:
+        if succ not in block_set:
+            raise VerificationError(
+                f"{function.name}/{block.name}: branch to a block outside the function "
+                f"({succ.name})")
+
+    # Phi nodes must have exactly one entry per predecessor.
+    preds = block.predecessors
+    for phi in block.phis():
+        incoming_blocks = list(phi.incoming_blocks)
+        if set(map(id, incoming_blocks)) != set(map(id, preds)) or \
+                len(incoming_blocks) != len(preds):
+            raise VerificationError(
+                f"{function.name}/{block.name}: phi %{phi.name} incoming blocks "
+                f"{[b.name for b in incoming_blocks]} do not match predecessors "
+                f"{[b.name for b in preds]}")
+
+    # Calls must target known functions when a module is provided.
+    if module is not None:
+        for inst in block.instructions:
+            if isinstance(inst, Call) and module.get_function(inst.callee) is None \
+                    and not inst.callee.startswith("__"):
+                raise VerificationError(
+                    f"{function.name}/{block.name}: call to unknown function @{inst.callee}")
+
+    # Return types must match the function signature.
+    for inst in block.instructions:
+        if isinstance(inst, Ret):
+            returns_value = inst.value is not None
+            expects_value = function.return_type.size_bytes > 0
+            if returns_value != expects_value:
+                raise VerificationError(
+                    f"{function.name}: return does not match function return type")
+
+
+def _verify_dominance(function: Function) -> None:
+    domtree = DominatorTree(function)
+    reachable = reachable_blocks(function)
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for inst in block.instructions:
+            for op in inst.operands:
+                if not isinstance(op, Instruction):
+                    continue
+                if op.parent is None or op.parent not in reachable:
+                    continue
+                if not domtree.value_dominates_use(op, inst):
+                    raise VerificationError(
+                        f"{function.name}/{block.name}: operand %{op.name} does not "
+                        f"dominate its use in '{inst}'")

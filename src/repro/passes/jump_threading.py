@@ -1,0 +1,110 @@
+"""Jump threading: forward branches whose outcome is known per-predecessor.
+
+When a block's conditional branch depends on a phi whose incoming value is a
+constant for some predecessor, that predecessor can jump directly to the
+branch target, skipping the block.  This removes dynamically executed
+branches (and is one of the passes with markedly larger benefit on x86,
+where it also removes misprediction stalls).
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    BasicBlock, Branch, CondBranch, Constant, Function, ICmp, Instruction,
+    Module, Phi, remove_unreachable_blocks,
+)
+from .pass_manager import FunctionPass, register_pass
+from .utils import constant_value, fold_icmp
+
+
+def _known_condition_for_pred(block: BasicBlock, pred: BasicBlock) -> int | None:
+    """If ``block``'s branch condition is a known constant when entered from
+    ``pred``, return it (0/1); otherwise None."""
+    term = block.terminator
+    if not isinstance(term, CondBranch):
+        return None
+    cond = term.condition
+
+    def value_from_pred(value) -> int | None:
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, Phi) and value.parent is block:
+            incoming = value.incoming_for_block(pred)
+            if incoming is not None:
+                return constant_value(incoming)
+        return None
+
+    direct = value_from_pred(cond)
+    if direct is not None:
+        return direct & 1
+    if isinstance(cond, ICmp) and cond.parent is block:
+        lhs = value_from_pred(cond.lhs)
+        rhs = value_from_pred(cond.rhs)
+        if lhs is not None and rhs is not None:
+            return fold_icmp(cond.predicate, lhs, rhs)
+    return None
+
+
+def _threadable(block: BasicBlock, threshold: int) -> bool:
+    """The block may be bypassed if it computes nothing a successor needs."""
+    body = [i for i in block.instructions if not i.is_terminator]
+    if len(body) > threshold:
+        return False
+    for inst in body:
+        if isinstance(inst, Phi):
+            continue
+        if inst.has_side_effects or inst.may_read_memory:
+            return False
+        # Results used outside the block cannot simply be skipped.
+        for user in inst.users:
+            if isinstance(user, Instruction) and user.parent is not block:
+                return False
+    # Phi results used outside the block would need rewiring; keep it simple.
+    for phi in block.phis():
+        for user in phi.users:
+            if isinstance(user, Instruction) and user.parent is not block:
+                return False
+    return True
+
+
+@register_pass
+class JumpThreading(FunctionPass):
+    """Thread control flow through blocks with predecessor-determined branches."""
+
+    name = "jump-threading"
+    description = "Redirect predecessors past blocks whose branch outcome they determine"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        changed = False
+        for _ in range(4):
+            round_changed = False
+            for block in list(function.blocks):
+                term = block.terminator
+                if not isinstance(term, CondBranch):
+                    continue
+                if not _threadable(block, self.config.jump_threading_threshold):
+                    continue
+                for pred in list(block.predecessors):
+                    if block is function.entry_block:
+                        break
+                    known = _known_condition_for_pred(block, pred)
+                    if known is None:
+                        continue
+                    target = term.true_target if known else term.false_target
+                    if target is block:
+                        continue
+                    # The target's phis need an entry for the new predecessor;
+                    # only thread when the target has no phis (the common shape
+                    # for -O0-style code) to keep the rewrite simple and sound.
+                    if target.phis():
+                        continue
+                    pred.replace_successor(block, target)
+                    for phi in block.phis():
+                        phi.remove_incoming(pred)
+                    round_changed = True
+            if round_changed:
+                remove_unreachable_blocks(function)
+                changed = True
+            else:
+                break
+        return changed

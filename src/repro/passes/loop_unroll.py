@@ -1,0 +1,235 @@
+"""Loop unrolling (loop-unroll) and unroll-and-jam.
+
+Only *full* unrolling of constant-trip-count loops is implemented: the loop
+body is replicated trip-count times and the loop structure disappears.  On
+CPUs unrolling additionally enables ILP and amortizes branch costs; on zkVMs
+the paper's Principle 3 applies — unrolling only pays off when it reduces the
+number of executed instructions (it removes the per-iteration compare,
+increment and branch, at the price of code size).
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    Alloca, BasicBlock, Branch, CondBranch, Function, Instruction, Loop,
+    LoopInfo, Module, Phi, remove_unreachable_blocks,
+)
+from ..ir.cloning import clone_instruction
+from .pass_manager import FunctionPass, register_pass
+from .loop_utils import ensure_preheader, find_induction_variable, form_lcssa
+
+
+def _unrollable(loop: Loop) -> bool:
+    """Structural requirements for the full unroller."""
+    if loop.subloops:
+        return False
+    if len(loop.latches) != 1:
+        return False
+    latch = loop.latches[0]
+    if latch is not loop.header and not isinstance(latch.terminator, Branch):
+        return False
+    # All phis must live in the header.
+    for block in loop.blocks:
+        if block is not loop.header and block.phis():
+            return False
+    # The header must be the only exiting block.
+    for block in loop.blocks:
+        for succ in block.successors:
+            if succ not in loop.blocks and block is not loop.header:
+                return False
+    return True
+
+
+def fully_unroll_loop(loop: Loop, function: Function, trip_count: int) -> bool:
+    """Replace ``loop`` with ``trip_count`` straight-line copies of its body.
+
+    Requires the canonical shape checked by :func:`_unrollable` plus a
+    preheader.  Returns True on success.
+    """
+    if trip_count <= 0 or not _unrollable(loop):
+        return False
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    iv = find_induction_variable(loop)
+    if iv is None:
+        return False
+    header = loop.header
+    latch = loop.latches[0]
+    loop_blocks = list(loop.blocks)
+    header_phis = header.phis()
+
+    # Current value of every header phi at the start of the iteration being
+    # emitted; starts with the preheader incoming values.
+    phi_values: dict[Phi, object] = {}
+    for phi in header_phis:
+        incoming = phi.incoming_for_block(preheader)
+        if incoming is None:
+            return False
+        phi_values[phi] = incoming
+    latch_incoming: dict[Phi, object] = {}
+    for phi in header_phis:
+        values = [v for v, b in phi.incoming if b in loop.blocks]
+        if len(values) != 1:
+            return False
+        latch_incoming[phi] = values[0]
+
+    insert_position = function.blocks.index(preheader) + 1
+    previous_tail: BasicBlock = preheader
+    last_iteration_map: dict = {}
+
+    for iteration in range(trip_count):
+        value_map: dict = dict(phi_values)
+        block_map: dict = {}
+        new_blocks: list[BasicBlock] = []
+        for old_block in loop_blocks:
+            new_block = BasicBlock(function.unique_name(f"{old_block.name}.unroll{iteration}"),
+                                   function)
+            block_map[old_block] = new_block
+            new_blocks.append(new_block)
+        for old_block, new_block in zip(loop_blocks, new_blocks):
+            for inst in old_block.instructions:
+                if isinstance(inst, Phi):
+                    continue  # substituted through value_map
+                if inst is header.terminator and old_block is header:
+                    continue  # the header branch is rewritten below
+                if inst is latch.terminator and old_block is latch:
+                    continue  # the back edge is rewritten below
+                cloned = clone_instruction(inst, value_map, block_map)
+                new_block.append(cloned)
+                if inst.has_result:
+                    value_map[inst] = cloned
+        new_header = block_map[header]
+        new_latch = block_map[latch]
+        if header is latch:
+            # Single-block loop: the copy simply falls through to the next
+            # iteration (placeholder target patched below).
+            new_header.append(Branch(header))
+        else:
+            # Header copy falls into the body copy; latch copy falls through to
+            # the next iteration (placeholder target patched below).
+            new_header.append(Branch(block_map.get(iv.body_successor, iv.body_successor)))
+            new_latch.append(Branch(header))
+
+        for offset, new_block in enumerate(new_blocks):
+            function.blocks.insert(insert_position + offset, new_block)
+        insert_position += len(new_blocks)
+
+        # Wire the previous tail into this iteration's header copy.
+        previous_tail.replace_successor(header, new_header)
+        previous_tail = new_latch
+
+        # Advance the phi values for the next iteration.
+        next_values = {}
+        for phi in header_phis:
+            incoming = latch_incoming[phi]
+            next_values[phi] = value_map.get(incoming, incoming)
+        phi_values = next_values
+        last_iteration_map = value_map
+
+    # Final header evaluation: executed once more, then exits.
+    final_map = dict(phi_values)
+    final_header = BasicBlock(function.unique_name(f"{header.name}.final"), function)
+    for inst in header.instructions:
+        if isinstance(inst, Phi) or inst.is_terminator:
+            continue
+        cloned = clone_instruction(inst, final_map, {})
+        final_header.append(cloned)
+        if inst.has_result:
+            final_map[inst] = cloned
+    final_header.append(Branch(iv.exit_block))
+    function.blocks.insert(insert_position, final_header)
+    previous_tail.replace_successor(header, final_header)
+
+    # Values defined in the loop and used outside must refer to their final copy.
+    for old_block in loop_blocks:
+        for inst in old_block.instructions:
+            if not inst.has_result:
+                continue
+            replacement = None
+            if isinstance(inst, Phi) and inst in final_map:
+                replacement = final_map[inst]
+            elif inst in final_map:
+                replacement = final_map[inst]
+            elif inst in last_iteration_map:
+                replacement = last_iteration_map[inst]
+            if replacement is None:
+                continue
+            for user in list(inst.users):
+                if isinstance(user, Instruction) and user.parent is not None \
+                        and user.parent not in loop.blocks:
+                    user.replace_operand(inst, replacement)
+
+    # Exit-block phis that referenced the old header now come from final_header.
+    for phi in iv.exit_block.phis():
+        phi.replace_incoming_block(header, final_header)
+
+    remove_unreachable_blocks(function)
+    return True
+
+
+@register_pass
+class LoopUnroll(FunctionPass):
+    """Fully unroll small constant-trip-count loops."""
+
+    name = "loop-unroll"
+    description = "Fully unroll loops with small constant trip counts"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        changed = False
+        # Re-discover loops after each unroll, since the CFG changes radically.
+        for _ in range(8):
+            loop_info = LoopInfo(function)
+            candidates = [l for l in loop_info.loops() if not l.subloops]
+            unrolled = False
+            for loop in candidates:
+                preheader = ensure_preheader(loop, function)
+                if preheader is None:
+                    continue
+                form_lcssa(loop, function)
+                iv = find_induction_variable(loop)
+                if iv is None:
+                    continue
+                trip_count = iv.trip_count(1 << 14)
+                if trip_count is None or trip_count == 0:
+                    continue
+                loop_size = sum(len(b) for b in loop.blocks)
+                if trip_count > self.config.unroll_full_max_trip_count:
+                    continue
+                if trip_count * loop_size > self.config.unroll_threshold:
+                    continue
+                if fully_unroll_loop(loop, function, trip_count):
+                    unrolled = True
+                    changed = True
+                    break
+            if not unrolled:
+                break
+        return changed
+
+
+@register_pass
+class LoopUnrollAndJam(FunctionPass):
+    """unroll-and-jam: unroll inner loops of shallow nests (simplified: the
+    innermost loop of a two-deep nest is fully unrolled when small)."""
+
+    name = "loop-unroll-and-jam"
+    description = "Unroll inner loops of loop nests"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        changed = False
+        loop_info = LoopInfo(function)
+        for loop in loop_info.loops():
+            if loop.subloops or loop.parent is None:
+                continue  # only inner loops that actually have a parent nest
+            preheader = ensure_preheader(loop, function)
+            if preheader is None:
+                continue
+            form_lcssa(loop, function)
+            iv = find_induction_variable(loop)
+            if iv is None:
+                continue
+            trip_count = iv.trip_count(1 << 12)
+            if trip_count is None or not 1 <= trip_count <= 8:
+                continue
+            changed |= fully_unroll_loop(loop, function, trip_count)
+        return changed

@@ -1,0 +1,190 @@
+"""Shared loop utilities: loop-simplify canonicalization, LCSSA, and
+induction-variable discovery.  Used by licm, the unrollers and the other
+loop passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir import (
+    BasicBlock, BinaryOp, Branch, CondBranch, Constant, Function, ICmp,
+    Instruction, Loop, LoopInfo, Phi, Value, I32,
+)
+from .utils import constant_value, fold_icmp, to_signed
+
+
+def ensure_preheader(loop: Loop, function: Function) -> Optional[BasicBlock]:
+    """Return the loop preheader, creating one if necessary (loop-simplify)."""
+    existing = loop.preheader()
+    if existing is not None:
+        return existing
+    header = loop.header
+    outside_preds = [p for p in header.predecessors if p not in loop.blocks]
+    if not outside_preds:
+        return None
+    preheader = function.add_block(f"{header.name}.preheader")
+    # Place it right before the header for readability.
+    function.blocks.remove(preheader)
+    function.blocks.insert(function.blocks.index(header), preheader)
+    preheader.append(Branch(header))
+
+    for pred in outside_preds:
+        pred.replace_successor(header, preheader)
+
+    # Rewire header phis: entries from outside predecessors are merged into a
+    # phi in the preheader (or moved directly when there is only one).
+    for phi in header.phis():
+        outside_entries = [(v, b) for v, b in phi.incoming if b in outside_preds]
+        for _, block in outside_entries:
+            phi.remove_incoming(block)
+        if len(outside_entries) == 1:
+            phi.add_incoming(outside_entries[0][0], preheader)
+        elif outside_entries:
+            merged = Phi(phi.type, f"{phi.name}.ph")
+            preheader.insert(0, merged)
+            for value, block in outside_entries:
+                merged.add_incoming(value, block)
+            phi.add_incoming(merged, preheader)
+    return preheader
+
+
+def form_lcssa(loop: Loop, function: Function) -> bool:
+    """Insert LCSSA phis: values defined in the loop but used outside are
+    routed through phi nodes in the exit blocks."""
+    changed = False
+    exits = loop.exit_blocks()
+    for block in list(loop.blocks):
+        for inst in list(block.instructions):
+            if not inst.has_result:
+                continue
+            outside_users = [u for u in inst.users
+                             if isinstance(u, Instruction) and u.parent is not None
+                             and u.parent not in loop.blocks]
+            if not outside_users:
+                continue
+            for exit_block in exits:
+                # Only handle exits whose predecessors are all inside the loop
+                # (dedicated exits); others are left alone.
+                preds = exit_block.predecessors
+                if not preds or any(p not in loop.blocks for p in preds):
+                    continue
+                users_below = [u for u in outside_users
+                               if u.parent is exit_block or _reachable_from(exit_block, u.parent)]
+                if not users_below:
+                    continue
+                lcssa_phi = Phi(I32, f"{inst.name}.lcssa")
+                for pred in preds:
+                    lcssa_phi.add_incoming(inst, pred)
+                exit_block.insert(0, lcssa_phi)
+                for user in users_below:
+                    if isinstance(user, Phi):
+                        continue
+                    user.replace_operand(inst, lcssa_phi)
+                changed = True
+    return changed
+
+
+def _reachable_from(start: BasicBlock, target: Optional[BasicBlock]) -> bool:
+    if target is None:
+        return False
+    seen = set()
+    worklist = [start]
+    while worklist:
+        block = worklist.pop()
+        if block is target:
+            return True
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors)
+    return False
+
+
+@dataclass
+class InductionVariable:
+    """A canonical induction variable: ``phi`` starts at ``init`` and is
+    updated by ``update = phi + step`` on the latch path; the loop exits when
+    ``icmp predicate (phi|update), bound`` fails in the header."""
+
+    phi: Phi
+    init: Value
+    step: int
+    update: BinaryOp
+    compare: ICmp
+    bound: Value
+    exit_block: BasicBlock
+    body_successor: BasicBlock
+    continue_on_true: bool
+
+    def trip_count(self, max_iterations: int = 1 << 20) -> Optional[int]:
+        """Simulate the IV to find the trip count, when init/bound are constants."""
+        init = constant_value(self.init)
+        bound = constant_value(self.bound)
+        if init is None or bound is None:
+            return None
+        compares_update = self.compare.lhs is self.update or self.compare.rhs is self.update
+        value = init
+        count = 0
+        while count <= max_iterations:
+            probe = (value + self.step) & 0xFFFFFFFF if compares_update else value
+            lhs, rhs = (probe, bound) if (self.compare.lhs is self.phi
+                                          or self.compare.lhs is self.update) else (bound, probe)
+            taken = bool(fold_icmp(self.compare.predicate, lhs, rhs))
+            if taken != self.continue_on_true:
+                return count
+            value = (value + self.step) & 0xFFFFFFFF
+            count += 1
+        return None
+
+
+def find_induction_variable(loop: Loop) -> Optional[InductionVariable]:
+    """Find the canonical IV of an SSA-form loop, if it has one."""
+    header = loop.header
+    term = header.terminator
+    if not isinstance(term, CondBranch):
+        return None
+    in_loop = [s for s in term.successors if s in loop.blocks]
+    out_loop = [s for s in term.successors if s not in loop.blocks]
+    if len(in_loop) != 1 or len(out_loop) != 1:
+        return None
+    compare = term.condition
+    if not isinstance(compare, ICmp) or compare.parent is not header:
+        return None
+    preheader = loop.preheader()
+    if preheader is None:
+        outside = [p for p in header.predecessors if p not in loop.blocks]
+        if len(outside) != 1:
+            return None
+        preheader = outside[0]
+
+    for phi in header.phis():
+        init = phi.incoming_for_block(preheader)
+        latch_values = [v for v, b in phi.incoming if b in loop.blocks]
+        if init is None or len(latch_values) != 1:
+            continue
+        update = latch_values[0]
+        if not isinstance(update, BinaryOp) or update.opcode != "add":
+            continue
+        if update.lhs is phi and constant_value(update.rhs) is not None:
+            step = to_signed(constant_value(update.rhs))
+        elif update.rhs is phi and constant_value(update.lhs) is not None:
+            step = to_signed(constant_value(update.lhs))
+        else:
+            continue
+        operands = (compare.lhs, compare.rhs)
+        if phi not in operands and update not in operands:
+            continue
+        bound = compare.rhs if (compare.lhs is phi or compare.lhs is update) else compare.lhs
+        return InductionVariable(phi=phi, init=init, step=step, update=update,
+                                 compare=compare, bound=bound,
+                                 exit_block=out_loop[0], body_successor=in_loop[0],
+                                 continue_on_true=term.true_target in loop.blocks)
+    return None
+
+
+def loop_is_invariant(value: Value, loop: Loop) -> bool:
+    """A value is loop-invariant if it is not defined inside the loop."""
+    if isinstance(value, Instruction):
+        return value.parent not in loop.blocks
+    return True

@@ -1,0 +1,161 @@
+"""Pass infrastructure: the pass registry, configuration and the pass manager.
+
+Mirrors the way the paper drives LLVM: a *profile* is an ordered list of pass
+names (plus numeric options such as ``inline-threshold``), applied to the
+unoptimized module produced by the frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from ..ir import Function, Module, verify_module
+
+
+@dataclass
+class PassConfig:
+    """Tunable knobs shared by the passes.
+
+    The defaults mirror LLVM's CPU-oriented tuning.  The zkVM-aware
+    configuration from Section 6.1 of the paper overrides a subset of them
+    (see :mod:`repro.zkvm_aware`).
+    """
+
+    # Inlining (LLVM default threshold is 225; the paper raises it to 4328).
+    inline_threshold: int = 225
+    inline_call_penalty: int = 25
+    always_inline_threshold: int = 30
+
+    # Loop unrolling.
+    unroll_threshold: int = 150
+    unroll_max_count: int = 8
+    unroll_full_max_trip_count: int = 32
+
+    # simplifycfg: convert two-armed diamonds into selects when each arm has at
+    # most this many speculatable instructions (CPU tuning favours this because
+    # it removes branches; zkVMs pay for both arms).
+    fold_branch_to_select_threshold: int = 2
+
+    # Strength reduction of division by constants into shift/add sequences.
+    expand_div_by_constant: bool = True
+
+    # Jump threading block-duplication threshold.
+    jump_threading_threshold: int = 6
+
+    # zkVM-aware mode (Change Sets 1-3): passes consult this to pick
+    # instruction-count-driven heuristics instead of hardware-centric ones.
+    zkvm_aware: bool = False
+
+    def with_overrides(self, **kwargs) -> "PassConfig":
+        return replace(self, **kwargs)
+
+
+class Pass:
+    """Base class of every optimization pass."""
+
+    name = "<abstract>"
+    description = ""
+
+    def __init__(self, config: Optional[PassConfig] = None):
+        self.config = config or PassConfig()
+
+    def run(self, module: Module) -> bool:
+        """Run on a module; return True if the IR changed."""
+        raise NotImplementedError
+
+
+class FunctionPass(Pass):
+    """A pass that runs independently on every defined function."""
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for function in module.defined_functions():
+            changed |= bool(self.run_on_function(function, module))
+        return changed
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        raise NotImplementedError
+
+
+class ModulePass(Pass):
+    """A pass that needs a whole-module view (inlining, ipsccp, ...)."""
+
+
+# -- registry -----------------------------------------------------------------
+_REGISTRY: dict[str, type[Pass]] = {}
+
+
+def register_pass(cls: type[Pass]) -> type[Pass]:
+    """Class decorator registering a pass under its ``name``."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate pass name: {cls.name}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_passes() -> list[str]:
+    """Names of all registered passes, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY.keys())
+
+
+def get_pass(name: str, config: Optional[PassConfig] = None) -> Pass:
+    """Instantiate a registered pass by name."""
+    _ensure_loaded()
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown pass: {name}")
+    return _REGISTRY[name](config)
+
+
+def _ensure_loaded() -> None:
+    """Import every pass module so registration side effects run."""
+    from . import (  # noqa: F401  (imported for side effects)
+        cse, dce, inline, jump_threading, loop_extract, loop_passes,
+        loop_unroll, mem2reg, misc, reg2mem, sccp, simplify, simplifycfg,
+        sroa, tailcall, unswitch,
+    )
+
+
+class PassManager:
+    """Runs an ordered sequence of passes over a module."""
+
+    def __init__(self, passes: Iterable[str | Pass] = (),
+                 config: Optional[PassConfig] = None,
+                 verify_each: bool = False):
+        self.config = config or PassConfig()
+        self.verify_each = verify_each
+        self.passes: list[Pass] = []
+        for item in passes:
+            self.add(item)
+
+    def add(self, item: str | Pass) -> "PassManager":
+        if isinstance(item, str):
+            item = get_pass(item, self.config)
+        self.passes.append(item)
+        return self
+
+    def run(self, module: Module) -> bool:
+        """Run all passes in order.  Returns True if any pass changed the IR."""
+        changed = False
+        for pass_ in self.passes:
+            try:
+                changed |= bool(pass_.run(module))
+            except Exception as error:  # pragma: no cover - defensive
+                raise RuntimeError(f"pass '{pass_.name}' failed: {error}") from error
+            if self.verify_each:
+                verify_module(module)
+        return changed
+
+    @property
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+
+def run_passes(module: Module, names: Iterable[str],
+               config: Optional[PassConfig] = None,
+               verify_each: bool = False) -> Module:
+    """Clone ``module``, run the named passes on the clone, and return it."""
+    cloned = module.clone()
+    PassManager(names, config, verify_each).run(cloned)
+    return cloned

@@ -1,0 +1,271 @@
+"""Control-flow graph simplification (simplifycfg) and mergereturn.
+
+simplifycfg performs the classic clean-ups (dead block removal, constant
+branch folding, block merging, empty-block forwarding) plus the
+transformation the paper's Figure 13 highlights: folding small if/else
+diamonds into ``select`` instructions.  On x86 this removes mispredictable
+branches; on zkVMs it forces both arms to execute every time, which is why
+the zkVM-aware configuration makes it more conservative.
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    BasicBlock, Branch, CondBranch, Constant, Function, Instruction, Load,
+    Module, Phi, Ret, Select, Store, predecessors_map, remove_unreachable_blocks,
+    I32,
+)
+from .pass_manager import FunctionPass, register_pass
+from .utils import constant_value
+
+
+def fold_constant_branches(function: Function) -> bool:
+    """Turn ``br const, A, B`` into an unconditional branch."""
+    changed = False
+    for block in function.blocks:
+        term = block.terminator
+        if not isinstance(term, CondBranch):
+            continue
+        cond = constant_value(term.condition)
+        if cond is None:
+            continue
+        taken = term.true_target if cond & 1 else term.false_target
+        not_taken = term.false_target if cond & 1 else term.true_target
+        if not_taken is not taken:
+            for phi in not_taken.phis():
+                phi.remove_incoming(block)
+        term.erase()
+        block.append(Branch(taken))
+        changed = True
+    return changed
+
+
+def merge_single_predecessor_blocks(function: Function) -> bool:
+    """Merge a block into its unique predecessor when that predecessor has a
+    single successor."""
+    changed = True
+    any_change = False
+    while changed:
+        changed = False
+        preds = predecessors_map(function)
+        for block in list(function.blocks):
+            if block is function.entry_block:
+                continue
+            block_preds = preds.get(block, [])
+            if len(block_preds) != 1:
+                continue
+            pred = block_preds[0]
+            if len(pred.successors) != 1 or pred is block:
+                continue
+            if block.phis():
+                # Single predecessor: every phi is trivially its incoming value.
+                for phi in list(block.phis()):
+                    value = phi.incoming_for_block(pred)
+                    if value is not None:
+                        phi.replace_all_uses_with(value)
+                    phi.erase()
+            # Splice instructions (minus pred's terminator) together.
+            pred_term = pred.terminator
+            if pred_term is not None:
+                pred_term.erase()
+            for inst in list(block.instructions):
+                block.remove_instruction(inst)
+                pred.append(inst)
+            # Successor phis must now name `pred` instead of `block`.
+            for succ in pred.successors:
+                for phi in succ.phis():
+                    phi.replace_incoming_block(block, pred)
+            function.remove_block(block)
+            changed = True
+            any_change = True
+            break
+    return any_change
+
+
+def remove_empty_forwarding_blocks(function: Function) -> bool:
+    """Remove blocks that contain only an unconditional branch."""
+    changed = False
+    for block in list(function.blocks):
+        if block is function.entry_block or len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        target = term.target
+        if target is block:
+            continue
+        # If the target has phis, retargeting predecessors requires adding
+        # incoming entries; only do it when the target has none (common case).
+        if target.phis():
+            continue
+        preds = block.predecessors
+        if not preds:
+            continue
+        for pred in preds:
+            pred.replace_successor(block, target)
+        function.remove_block(block)
+        changed = True
+    return changed
+
+
+def fold_branch_to_select(function: Function, max_speculated: int,
+                          zkvm_aware: bool) -> bool:
+    """Convert small if/else diamonds that only compute a value into selects.
+
+    Pattern::
+
+            head:  br %c, then, else
+            then:  <speculatable>  br merge
+            else:  <speculatable>  br merge
+            merge: %phi = phi [a, then], [b, else]
+
+    The then/else arms are hoisted into ``head`` and the phi becomes a select.
+    ``max_speculated`` bounds how many instructions may be speculated per arm
+    (0 disables the transformation, which is what the zkVM-aware profile uses
+    for multi-instruction arms).
+    """
+    if max_speculated <= 0:
+        return False
+    changed = False
+    for head in list(function.blocks):
+        term = head.terminator
+        if not isinstance(term, CondBranch):
+            continue
+        then_block, else_block = term.true_target, term.false_target
+        if then_block is else_block:
+            continue
+        merge = _diamond_merge(head, then_block, else_block)
+        if merge is None:
+            continue
+        arms = [b for b in (then_block, else_block) if b is not merge]
+        if not _speculatable(arms, max_speculated):
+            continue
+        if any(len(b.predecessors) != 1 for b in arms):
+            continue
+        # The merge block must be reached only through this diamond/triangle.
+        expected_preds = set(map(id, arms)) | ({id(head)} if len(arms) == 1 else set())
+        if set(map(id, merge.predecessors)) != expected_preds:
+            continue
+        # Every phi in the merge must resolve to one value per arm of the branch.
+        true_key = then_block if then_block is not merge else head
+        false_key = else_block if else_block is not merge else head
+        phi_rewrites = []
+        resolvable = True
+        for phi in merge.phis():
+            true_value = phi.incoming_for_block(true_key)
+            false_value = phi.incoming_for_block(false_key)
+            if true_value is None or false_value is None:
+                resolvable = False
+                break
+            phi_rewrites.append((phi, true_value, false_value))
+        if not resolvable:
+            continue
+        # Hoist arm instructions into the head, before the terminator.
+        for arm in arms:
+            for inst in list(arm.instructions):
+                if inst.is_terminator:
+                    continue
+                arm.remove_instruction(inst)
+                head.insert_before_terminator(inst)
+        # Rewrite merge phis into selects.
+        for phi, true_value, false_value in phi_rewrites:
+            select = Select(term.condition, true_value, false_value, phi.name)
+            head.insert_before_terminator(select)
+            phi.replace_all_uses_with(select)
+            phi.erase()
+        # Head now branches straight to the merge block.
+        term.erase()
+        head.append(Branch(merge))
+        for arm in arms:
+            function.remove_block(arm)
+        changed = True
+    return changed
+
+
+def _diamond_merge(head: BasicBlock, then_block: BasicBlock,
+                   else_block: BasicBlock) -> BasicBlock | None:
+    """Identify the merge block of an if/else diamond or if-then triangle."""
+    def single_successor(block: BasicBlock) -> BasicBlock | None:
+        succs = block.successors
+        return succs[0] if len(succs) == 1 else None
+
+    then_succ = single_successor(then_block)
+    else_succ = single_successor(else_block)
+    # Full diamond.
+    if then_succ is not None and then_succ is else_succ:
+        return then_succ
+    # Triangle: one arm *is* the merge block.
+    if then_succ is else_block:
+        return else_block
+    if else_succ is then_block:
+        return then_block
+    return None
+
+
+def _speculatable(arms: list[BasicBlock], max_speculated: int) -> bool:
+    for arm in arms:
+        body = [i for i in arm.instructions if not i.is_terminator]
+        if len(body) > max_speculated:
+            return False
+        for inst in body:
+            if isinstance(inst, Phi) or not inst.is_safe_to_speculate():
+                return False
+        if not isinstance(arm.terminator, Branch):
+            return False
+    return True
+
+
+@register_pass
+class SimplifyCFG(FunctionPass):
+    """Simplify the control-flow graph."""
+
+    name = "simplifycfg"
+    description = "Dead block removal, branch folding, block merging, if-conversion"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        threshold = self.config.fold_branch_to_select_threshold
+        if self.config.zkvm_aware:
+            # Change Set 2: only convert single-instruction arms, where the
+            # instruction-count cost of executing both sides is minimal.
+            threshold = min(threshold, 1)
+        changed = False
+        for _ in range(4):
+            round_changed = False
+            round_changed |= fold_constant_branches(function)
+            round_changed |= remove_unreachable_blocks(function) > 0
+            round_changed |= remove_empty_forwarding_blocks(function)
+            round_changed |= merge_single_predecessor_blocks(function)
+            round_changed |= fold_branch_to_select(function, threshold, self.config.zkvm_aware)
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed
+
+
+@register_pass
+class MergeReturn(FunctionPass):
+    """Unify multiple return statements into a single exit block."""
+
+    name = "mergereturn"
+    description = "Merge multiple function exits into one return block"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        returns = [block for block in function.blocks
+                   if isinstance(block.terminator, Ret)]
+        if len(returns) < 2:
+            return False
+        exit_block = function.add_block("unified.exit")
+        returns_value = any(r.terminator.value is not None for r in returns)  # type: ignore[union-attr]
+        phi = None
+        if returns_value:
+            phi = Phi(I32, "merged.retval")
+            exit_block.append(phi)
+        for block in returns:
+            ret = block.terminator
+            assert isinstance(ret, Ret)
+            if phi is not None:
+                phi.add_incoming(ret.value if ret.value is not None else Constant(0), block)
+            ret.erase()
+            block.append(Branch(exit_block))
+        exit_block.append(Ret(phi if phi is not None else None))
+        return True

@@ -1,0 +1,96 @@
+"""Tail-call elimination (tailcall): turn self-recursive tail calls into loops."""
+
+from __future__ import annotations
+
+from ..ir import (
+    Alloca, Argument, Branch, Call, Function, Instruction, Module, Ret, Store,
+)
+from .pass_manager import FunctionPass, register_pass
+
+
+def _argument_slots(function: Function) -> dict[Argument, Alloca] | None:
+    """Map each argument to the stack slot it is spilled into at function entry.
+
+    The -O0 code produced by the frontend spills every parameter exactly once;
+    tail-call elimination relies on that shape (arguments used anywhere else
+    make the rewrite unsafe, so we bail out).
+    """
+    slots: dict[Argument, Alloca] = {}
+    entry = function.entry_block
+    for argument in function.arguments:
+        stores = [u for u in argument.users if isinstance(u, Store) and u.value is argument]
+        if len(stores) != 1 or len(argument.users) != 1:
+            return None
+        store = stores[0]
+        if store.parent is not entry or not isinstance(store.pointer, Alloca):
+            return None
+        slots[argument] = store.pointer
+    return slots
+
+
+def _is_tail_call(call: Call, function: Function) -> bool:
+    """A self-call whose result (if any) is immediately returned."""
+    if call.callee != function.name or call.parent is None:
+        return False
+    block = call.parent
+    index = block.instructions.index(call)
+    rest = block.instructions[index + 1:]
+    if len(rest) != 1 or not isinstance(rest[0], Ret):
+        return False
+    ret = rest[0]
+    if ret.value is None:
+        return not call.users
+    return ret.value is call and len(call.users) == 1
+
+
+@register_pass
+class TailCallElim(FunctionPass):
+    """Eliminate self-recursive tail calls by branching back to the loop top."""
+
+    name = "tailcall"
+    description = "Convert self-recursive tail calls into loops"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        if not function.arguments and function.is_declaration:
+            return False
+        tail_calls = [inst for inst in function.instructions()
+                      if isinstance(inst, Call) and _is_tail_call(inst, function)]
+        if not tail_calls:
+            return False
+        slots = _argument_slots(function)
+        if slots is None and function.arguments:
+            return False
+
+        # Split the entry block after the argument spills: the second half
+        # becomes the loop header we branch back to.
+        entry = function.entry_block
+        split_index = 0
+        for i, inst in enumerate(entry.instructions):
+            if isinstance(inst, Alloca) or (isinstance(inst, Store)
+                                            and isinstance(inst.value, Argument)):
+                split_index = i + 1
+        header = function.add_block("tailrecurse", after=entry)
+        for inst in list(entry.instructions[split_index:]):
+            entry.remove_instruction(inst)
+            header.append(inst)
+        for succ in header.successors:
+            for phi in succ.phis():
+                phi.replace_incoming_block(entry, header)
+        entry.append(Branch(header))
+
+        changed = False
+        for call in tail_calls:
+            block = call.parent
+            if block is None:
+                continue
+            ret = block.instructions[block.instructions.index(call) + 1]
+            # Store the new argument values into the parameter slots, then loop.
+            for argument, value in zip(function.arguments, call.args):
+                slot = slots[argument] if slots else None
+                if slot is not None:
+                    block.insert(block.instructions.index(call), Store(value, slot))
+            ret.erase()
+            call.erase()
+            block.append(Branch(header))
+            changed = True
+        return changed

@@ -1,0 +1,156 @@
+"""Loop unswitching passes: simple-loop-unswitch and loop-versioning-licm.
+
+simple-loop-unswitch hoists a loop-invariant condition out of the loop by
+duplicating the loop: one copy specialized for the condition being true, one
+for false.  loop-versioning-licm duplicates the loop behind a runtime guard
+and then runs licm on the versioned copy (our guard is trivially true because
+the conservative alias analysis cannot prove independence — the pass still
+pays the guard and code-size cost, which matches its small/negative effect in
+the paper).
+"""
+
+from __future__ import annotations
+
+from ..ir import (
+    BasicBlock, Branch, CondBranch, Constant, Function, Instruction, Loop,
+    LoopInfo, Module, Phi, remove_unreachable_blocks, I1,
+)
+from ..ir.cloning import clone_instruction
+from .pass_manager import FunctionPass, register_pass
+from .loop_utils import ensure_preheader, loop_is_invariant
+from .loop_passes import LICM
+
+
+def clone_loop(loop: Loop, function: Function, suffix: str):
+    """Clone the blocks of ``loop``; returns (block_map, value_map).
+
+    Only safe when the loop has a single preheader and its exit blocks have no
+    phis (callers must check).  The cloned loop is *not* yet reachable.
+    """
+    value_map: dict = {}
+    block_map: dict = {}
+    originals = list(loop.blocks)
+    for block in originals:
+        clone = BasicBlock(function.unique_name(f"{block.name}.{suffix}"), function)
+        block_map[block] = clone
+        function.blocks.append(clone)
+    phi_fixups = []
+    for block in originals:
+        clone = block_map[block]
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                new_phi = Phi(inst.type, inst.name)
+                clone.append(new_phi)
+                value_map[inst] = new_phi
+                phi_fixups.append((inst, new_phi))
+            else:
+                cloned = clone_instruction(inst, value_map, block_map)
+                clone.append(cloned)
+                if inst.has_result:
+                    value_map[inst] = cloned
+    for old_phi, new_phi in phi_fixups:
+        for value, pred in old_phi.incoming:
+            new_phi.add_incoming(value_map.get(value, value), block_map.get(pred, pred))
+    return block_map, value_map
+
+
+def _exits_have_no_phis(loop: Loop) -> bool:
+    return all(not e.phis() for e in loop.exit_blocks())
+
+
+@register_pass
+class SimpleLoopUnswitch(FunctionPass):
+    """Hoist loop-invariant branches out of loops by versioning the loop."""
+
+    name = "simple-loop-unswitch"
+    description = "Duplicate loops to specialize loop-invariant conditions"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        changed = False
+        loop_info = LoopInfo(function)
+        for loop in loop_info.innermost_loops():
+            preheader = ensure_preheader(loop, function)
+            if preheader is None or not _exits_have_no_phis(loop):
+                continue
+            candidate = self._invariant_branch(loop)
+            if candidate is None:
+                continue
+            branch_block, term = candidate
+            condition = term.condition
+
+            block_map, _ = clone_loop(loop, function, "unswitch")
+            # Specialize: original copy assumes the condition is true, the clone
+            # assumes it is false.
+            term.erase()
+            branch_block.append(Branch(term.true_target))
+            cloned_block = block_map[branch_block]
+            cloned_term = cloned_block.terminator
+            assert isinstance(cloned_term, CondBranch)
+            false_target = cloned_term.false_target
+            cloned_term.erase()
+            cloned_block.append(Branch(false_target))
+
+            # The preheader now selects which version to run.
+            preheader_term = preheader.terminator
+            header_clone = block_map[loop.header]
+            for phi in loop.header.phis():
+                value = phi.incoming_for_block(preheader)
+                clone_phi = None
+                for candidate_phi in header_clone.phis():
+                    if candidate_phi.name == phi.name:
+                        clone_phi = candidate_phi
+                        break
+                if clone_phi is not None and value is not None:
+                    clone_phi.replace_incoming_block(preheader, preheader)
+            preheader_term.erase()
+            preheader.append(CondBranch(condition, loop.header, header_clone))
+            changed = True
+            # Only unswitch one condition per loop per run (as LLVM does by default).
+        if changed:
+            remove_unreachable_blocks(function)
+        return changed
+
+    @staticmethod
+    def _invariant_branch(loop: Loop):
+        for block in loop.blocks:
+            term = block.terminator
+            if not isinstance(term, CondBranch):
+                continue
+            if block is loop.header:
+                continue  # the header's branch is the loop exit test
+            if all(s in loop.blocks for s in term.successors) \
+                    and loop_is_invariant(term.condition, loop) \
+                    and not isinstance(term.condition, Constant):
+                return block, term
+        return None
+
+
+@register_pass
+class LoopVersioningLICM(FunctionPass):
+    """Version loops behind a (conservative) runtime check, then run licm."""
+
+    name = "loop-versioning-licm"
+    description = "Loop versioning for LICM with a runtime memory check"
+
+    def run_on_function(self, function: Function, module: Module) -> bool:
+        changed = False
+        loop_info = LoopInfo(function)
+        for loop in loop_info.innermost_loops():
+            preheader = ensure_preheader(loop, function)
+            if preheader is None or not _exits_have_no_phis(loop):
+                continue
+            if loop.header.phis():
+                continue  # keep the duplication simple: memory-form loops only
+            block_map, _ = clone_loop(loop, function, "versioned")
+            # Guard: our alias analysis cannot prove independence, so the check
+            # statically selects the original loop; the versioned copy remains
+            # as cold code (code-size cost without runtime benefit).
+            preheader_term = preheader.terminator
+            preheader_term.erase()
+            preheader.append(CondBranch(Constant(1, I1), loop.header, block_map[loop.header]))
+            changed = True
+        if changed:
+            # Run licm over the whole function (it will canonicalize again).
+            changed |= LICM(self.config).run_on_function(function, module)
+            remove_unreachable_blocks(function)
+        return changed

@@ -1,0 +1,116 @@
+"""Shared helpers used by multiple passes: constant folding, triviality checks
+and a very small alias analysis."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import (
+    Alloca, Argument, BinaryOp, Call, Cast, Constant, GEP, GlobalVariable,
+    ICmp, Instruction, Load, Phi, Select, Store, Value, I1, I32,
+)
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def to_signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def fold_binary(opcode: str, lhs: int, rhs: int) -> int:
+    """Constant-fold a binary operation on 32-bit values (RISC-V semantics)."""
+    from ..ir.interpreter import Interpreter
+
+    return Interpreter._binop(opcode, lhs & WORD_MASK, rhs & WORD_MASK)
+
+
+def fold_icmp(predicate: str, lhs: int, rhs: int) -> int:
+    """Constant-fold an integer comparison; returns 0 or 1."""
+    from ..ir.interpreter import Interpreter
+
+    return int(Interpreter._icmp(predicate, lhs & WORD_MASK, rhs & WORD_MASK))
+
+
+def constant_value(value: Value) -> Optional[int]:
+    """The unsigned constant value of ``value``, or None."""
+    if isinstance(value, Constant):
+        return value.value
+    return None
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    return value.bit_length() - 1
+
+
+def replace_and_erase(inst: Instruction, replacement: Value) -> None:
+    """RAUW + erase, the workhorse of most peephole rewrites."""
+    inst.replace_all_uses_with(replacement)
+    inst.erase()
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """Dead if it has no users and no side effects (allocas count as dead too)."""
+    if inst.users:
+        return False
+    if isinstance(inst, (Store, Call)) or inst.is_terminator:
+        return False
+    return True
+
+
+def underlying_object(pointer: Value) -> Value:
+    """Chase GEPs back to the allocation or global the pointer is based on."""
+    seen = 0
+    while isinstance(pointer, GEP) and seen < 64:
+        pointer = pointer.base
+        seen += 1
+    return pointer
+
+
+def may_alias(a: Value, b: Value) -> bool:
+    """A conservative may-alias test between two pointers.
+
+    Distinct allocas never alias; distinct globals never alias; an alloca
+    never aliases a global.  Anything involving an unknown pointer (function
+    argument, loaded pointer) may alias everything.
+    """
+    base_a = underlying_object(a)
+    base_b = underlying_object(b)
+    if base_a is base_b:
+        return True
+    known_a = isinstance(base_a, (Alloca, GlobalVariable))
+    known_b = isinstance(base_b, (Alloca, GlobalVariable))
+    if known_a and known_b:
+        return False
+    return True
+
+
+def address_taken(alloca: Alloca) -> bool:
+    """True if the alloca's address escapes (used by anything other than
+    direct loads, stores of *other* values, or constant-index GEPs feeding
+    loads/stores)."""
+    for user in alloca.users:
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and user.pointer is alloca and user.value is not alloca:
+            continue
+        return True
+    return False
+
+
+def single_user(value: Value) -> Optional[Instruction]:
+    users = [u for u in value.users if isinstance(u, Instruction)]
+    return users[0] if len(users) == 1 else None
+
+
+def same_value(a: Value, b: Value) -> bool:
+    """Structural equality for constants, identity otherwise."""
+    if a is b:
+        return True
+    if isinstance(a, Constant) and isinstance(b, Constant):
+        return a.value == b.value and a.type == b.type
+    return False

@@ -1,0 +1,13 @@
+"""zkVM models: execution-trace accounting, paging, cycle models and proving
+cost models for the two zkVMs the paper studies (RISC Zero and SP1)."""
+
+from .models import RISC_ZERO, SP1, ZKVMS, ZkvmMetrics, ZkvmModel
+from .precompiles import (
+    HOST_CALLS, PRECOMPILES, PRECOMPILE_CYCLES, interpret_host_call, make_signature,
+)
+
+__all__ = [
+    "RISC_ZERO", "SP1", "ZKVMS", "ZkvmMetrics", "ZkvmModel",
+    "HOST_CALLS", "PRECOMPILES", "PRECOMPILE_CYCLES",
+    "interpret_host_call", "make_signature",
+]

@@ -1,0 +1,40 @@
+"""The "modified LLVM" of Section 6.1: a zkVM-aware compilation configuration.
+
+The paper implements three change sets in under 100 lines of LLVM:
+
+* **Change set 1** — a zkVM-specific cost model (division is cheap, memory
+  paging is expensive) wired into the RISC-V target hooks.
+* **Change set 2** — retuned defaults and heuristics: a much higher inlining
+  threshold, unrolling gated on instruction-count reduction, conservative
+  branch elimination.
+* **Change set 3** — disabling passes whose benefit relies on hardware
+  features zkVMs do not have (speculative execution, prefetching).
+
+In this reproduction the same three change sets are a configuration layer:
+:func:`zkvm_aware_config` adjusts the shared :class:`PassConfig`,
+:func:`zkvm_aware_pipeline` builds the modified -O3 pipeline, and the backend
+selects the zkVM cost model for instruction selection.
+"""
+
+from __future__ import annotations
+
+from ..backend.cost_model import ZKVM_COST_MODEL, TargetCostModel
+from ..passes import PassConfig, PassManager, apply_zkvm_aware_overrides, pipeline_for_level
+
+
+def zkvm_aware_config(base: PassConfig | None = None) -> PassConfig:
+    """The pass configuration with Change Sets 1-2 applied."""
+    return apply_zkvm_aware_overrides(base or PassConfig())
+
+
+def zkvm_aware_pipeline(level: str = "-O3") -> PassManager:
+    """The modified -O3 (or other level) pipeline with all three change sets."""
+    return pipeline_for_level(level, zkvm_aware=True)
+
+
+def zkvm_aware_backend_cost_model() -> TargetCostModel:
+    """Change set 1 as seen by the instruction selector."""
+    return ZKVM_COST_MODEL
+
+
+__all__ = ["zkvm_aware_config", "zkvm_aware_pipeline", "zkvm_aware_backend_cost_model"]

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir.interpreter import run_module
+
+from support import REFERENCE_PROGRAM
+
+
+@pytest.fixture(scope="session")
+def reference_module():
+    """The unoptimized IR module of the reference program."""
+    return compile_source(REFERENCE_PROGRAM, "reference")
+
+
+@pytest.fixture(scope="session")
+def reference_result(reference_module):
+    """The reference program's behaviour under the IR interpreter."""
+    return run_module(reference_module)

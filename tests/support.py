@@ -1,0 +1,78 @@
+"""Shared helper programs and execution utilities for the test suite."""
+
+from __future__ import annotations
+
+from repro.backend import compile_module
+from repro.emulator import run_program
+from repro.frontend import compile_source
+from repro.ir.interpreter import run_module
+
+# A mid-sized program exercising calls, recursion, loops, arrays, globals,
+# short-circuit logic and division — used by the differential tests.
+REFERENCE_PROGRAM = """
+const N = 12;
+global table[32] = {3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3};
+global out[32];
+
+inline fn square(x) -> int { return x * x; }
+
+fn gcd(a, b) -> int {
+  while (b != 0) {
+    var t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+fn sum_to(n) -> int {
+  if (n <= 0) { return 0; }
+  return n + sum_to(n - 1);
+}
+
+fn matvec(n) -> int {
+  var acc = 0;
+  var i; var j;
+  for (i = 0; i < n; i = i + 1) {
+    var row = 0;
+    for (j = 0; j < n; j = j + 1) {
+      row = row + table[(i * n + j) % 32] * (j + 1);
+    }
+    out[i] = row;
+    acc = acc + row;
+  }
+  return acc;
+}
+
+fn classify(x) -> int {
+  if (x < 0) { return 0 - x; }
+  else { if (x % 4 == 0 && x > 8) { return x / 4; } }
+  return x;
+}
+
+fn main() -> int {
+  var total = 0;
+  var k;
+  for (k = 0; k < N; k = k + 1) {
+    total = total + square(k) - classify(k - 6);
+  }
+  total = total + gcd(462, 1071) + sum_to(10) + matvec(5);
+  print(total);
+  return total;
+}
+"""
+
+
+def interpret(source: str, entry: str = "main", args=None):
+    """Compile MiniC source and run it under the IR interpreter."""
+    return run_module(compile_source(source), entry, args)
+
+
+def execute(source: str, passes=(), entry: str = "main", args=None):
+    """Compile MiniC source (optionally optimized) and run it on the emulator."""
+    from repro.passes import run_passes
+
+    module = compile_source(source)
+    if passes:
+        module = run_passes(module, list(passes))
+    return run_program(compile_module(module), entry, args)

@@ -1,0 +1,197 @@
+"""Tests for the RISC-V backend (lowering, register allocation) and emulator."""
+
+import pytest
+
+from repro.backend import (
+    CPU_COST_MODEL, ZKVM_COST_MODEL, compile_module, lower_module,
+)
+from repro.backend.isa import (
+    ALLOCATABLE, CALLEE_SAVED, MachineInstr, classify,
+)
+from repro.backend.regalloc import compute_live_intervals
+from repro.emulator import EmulationError, Machine, run_program
+from repro.frontend import compile_source
+from repro.ir.interpreter import run_module
+from repro.passes import run_passes
+
+from support import REFERENCE_PROGRAM, execute
+
+
+class TestLowering:
+    def test_simple_program_round_trips(self):
+        stats = execute("fn main() -> int { return 6 * 7; }")
+        assert stats.return_value == 42
+
+    def test_virtual_registers_eliminated(self):
+        program = compile_module(compile_source(REFERENCE_PROGRAM))
+        for asm in program.functions.values():
+            for instr in asm.instructions():
+                for op in instr.operands:
+                    assert not (isinstance(op, str) and op.startswith("%")), \
+                        f"virtual register leaked into final code: {instr}"
+
+    def test_branch_fusion_avoids_materialized_compares(self):
+        source = """
+        fn main() -> int {
+          var acc = 0; var i;
+          for (i = 0; i < 10; i = i + 1) { acc = acc + i; }
+          return acc;
+        }
+        """
+        program = compile_module(compile_source(source))
+        opcodes = [i.opcode for i in program.functions["main"].instructions()]
+        assert any(op in ("blt", "bge", "bne", "beq", "bltu", "bgeu") for op in opcodes)
+
+    def test_select_lowering_follows_cost_model(self):
+        source = """
+        fn main() -> int {
+          var x = read_input(0) % 10;
+          var y;
+          if (x < 5) { y = 1; } else { y = 2; }
+          return y;
+        }
+        """
+        module = run_passes(compile_source(source), ["mem2reg", "simplifycfg"])
+        branchless = lower_module(module, CPU_COST_MODEL)
+        branchy = lower_module(module, ZKVM_COST_MODEL)
+        branchless_ops = [i.opcode for i in branchless.functions["main"].instructions()]
+        branchy_ops = [i.opcode for i in branchy.functions["main"].instructions()]
+        assert branchy_ops.count("bnez") >= branchless_ops.count("bnez")
+
+    def test_globals_are_laid_out_and_initialized(self):
+        source = """
+        global table[4] = {5, 6, 7, 8};
+        fn main() -> int { return table[2]; }
+        """
+        program = compile_module(compile_source(source))
+        assert "table" in program.globals_layout
+        assert run_program(program).return_value == 7
+
+    def test_host_calls_lower_to_ecall(self):
+        program = compile_module(compile_source("fn main() -> int { print(3); return 0; }"))
+        opcodes = [i.opcode for i in program.functions["main"].instructions()]
+        assert "ecall" in opcodes
+
+    def test_instruction_classification(self):
+        assert classify("add") == "alu"
+        assert classify("mul") == "mul"
+        assert classify("div") == "div"
+        assert classify("lw") == "load"
+        assert classify("sw") == "store"
+        assert classify("bne") == "branch"
+        assert classify("ecall") == "system"
+        with pytest.raises(ValueError):
+            classify("vadd.vv")
+
+
+class TestRegisterAllocation:
+    def test_high_pressure_functions_spill_but_stay_correct(self):
+        # 24 simultaneously live values exceed the allocatable register pool.
+        names = [f"v{i}" for i in range(24)]
+        decls = "\n".join(f"var {n} = read_input({i}) % 100 + {i};"
+                          for i, n in enumerate(names))
+        total = " + ".join(names)
+        source = f"fn main() -> int {{\n{decls}\nvar blocker = read_input(99);\nreturn {total};\n}}"
+        module = run_passes(compile_source(source), ["mem2reg"])
+        program = compile_module(module)
+        instrs = program.functions["main"].instructions()
+        assert any("spill" in i.comment or "reload" in i.comment for i in instrs)
+        expected = run_module(module).return_value
+        assert run_program(program).return_value == expected
+
+    def test_callee_saved_registers_are_saved_and_restored(self):
+        source = """
+        fn leaf(x) -> int { return x * 2; }
+        fn main() -> int {
+          var keep = read_input(0) % 50;
+          var other = leaf(keep);
+          return keep + other;
+        }
+        """
+        module = run_passes(compile_source(source), ["mem2reg"])
+        program = compile_module(module)
+        main_instrs = program.functions["main"].instructions()
+        saved = [i for i in main_instrs if i.opcode == "sw" and i.operands[0] in CALLEE_SAVED]
+        restored = [i for i in main_instrs if i.opcode == "lw" and i.operands[0] in CALLEE_SAVED]
+        assert len(saved) >= 1 and len(restored) >= len(saved)
+        expected = run_module(module).return_value
+        assert run_program(program).return_value == expected
+
+    def test_live_intervals_cover_loop_carried_values(self):
+        source = """
+        fn main() -> int {
+          var acc = 0; var i;
+          for (i = 0; i < 50; i = i + 1) { acc = acc + i; }
+          return acc;
+        }
+        """
+        module = run_passes(compile_source(source), ["mem2reg"])
+        program = lower_module(module)
+        intervals = compute_live_intervals(program.functions["main"].body)
+        assert intervals
+        # Loop-carried virtual registers must have ranges spanning the back edge
+        # (end strictly after start).
+        assert any(iv.end > iv.start + 5 for iv in intervals.values())
+
+
+class TestEmulator:
+    def test_reference_program_matches_interpreter(self, reference_module, reference_result):
+        stats = run_program(compile_module(reference_module))
+        assert stats.return_value == reference_result.return_value
+        assert stats.output == reference_result.output
+
+    def test_trace_statistics_are_collected(self):
+        stats = execute(REFERENCE_PROGRAM)
+        assert stats.instructions > 0
+        assert stats.loads > 0 and stats.stores > 0
+        assert stats.branches_taken > 0
+        assert stats.calls > 0
+        assert sum(stats.class_counts.values()) == stats.instructions
+
+    def test_instruction_limit_enforced(self):
+        source = "fn main() -> int { while (1) { } return 0; }"
+        program = compile_module(compile_source(source))
+        with pytest.raises(EmulationError):
+            run_program(program, max_instructions=10_000)
+
+    def test_unknown_entry_function_rejected(self):
+        program = compile_module(compile_source("fn main() -> int { return 0; }"))
+        with pytest.raises(EmulationError):
+            run_program(program, entry="does_not_exist")
+
+    def test_page_tracking(self):
+        source = """
+        global big[2048];
+        fn main() -> int {
+          var i;
+          for (i = 0; i < 2048; i = i + 32) { big[i] = i; }
+          return big[0];
+        }
+        """
+        program = compile_module(compile_source(source))
+        machine = Machine(program)
+        stats = machine.run()
+        machine_pages = machine.page_in_events
+        assert stats.unique_pages >= 8  # 2048 words span 8 KiB = 8 pages
+        assert machine_pages >= stats.unique_pages - 1
+
+    def test_precompile_host_calls(self):
+        source = """
+        global buffer[16];
+        global digest[8];
+        fn main() -> int {
+          var i;
+          for (i = 0; i < 16; i = i + 1) { buffer[i] = i; }
+          sha256(buffer, 16, digest);
+          return digest[0];
+        }
+        """
+        stats = execute(source)
+        assert stats.host_calls.get("__sha256") == 1
+        assert stats.return_value != 0
+
+    def test_read_input_values(self):
+        source = "fn main() -> int { return read_input(0) + read_input(1); }"
+        program = compile_module(compile_source(source))
+        stats = run_program(program, input_values=[30, 12])
+        assert stats.return_value == 42

@@ -1,0 +1,196 @@
+"""Tests for the benchmark suite, the experiment runner, the autotuner and the
+table/figure regenerators."""
+
+import pytest
+
+from repro.benchmarks import (
+    all_benchmark_names, benchmarks_in_suite, get_benchmark, suites,
+)
+from repro.experiments import (
+    BenchmarkRunner, all_study_profiles, baseline_profile, percent_change,
+    profile_by_name, zkvm_aware_profile,
+)
+from repro.experiments import figures, tables
+from repro.frontend import compile_source
+from repro.ir import verify_module
+
+FAST_BENCHMARKS = ["fibonacci", "loop-sum", "polybench-trisolv", "npb-is", "rsp"]
+FAST_PASSES = ["inline", "licm", "mem2reg", "instcombine", "loop-extract"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    # A generous instruction budget: a few pass/benchmark combinations (e.g.
+    # loop-extract on deeply nested kernels) legitimately run long.
+    return BenchmarkRunner(max_instructions=80_000_000)
+
+
+class TestBenchmarkSuite:
+    def test_suite_has_58_programs(self):
+        assert len(all_benchmark_names()) == 58
+
+    def test_suites_match_the_paper(self):
+        assert set(suites()) == {"polybench", "npb", "crypto", "spec", "misc", "rsp"}
+        assert len(benchmarks_in_suite("polybench")) == 30
+        assert len(benchmarks_in_suite("npb")) == 8
+        assert len(benchmarks_in_suite("crypto")) == 9
+        assert len(benchmarks_in_suite("spec")) == 3
+
+    @pytest.mark.parametrize("name", all_benchmark_names())
+    def test_every_benchmark_compiles_and_verifies(self, name):
+        benchmark = get_benchmark(name)
+        module = compile_source(benchmark.source, name)
+        verify_module(module)
+        assert module.get_function("main") is not None
+
+    @pytest.mark.parametrize("name", FAST_BENCHMARKS)
+    def test_fast_benchmarks_execute(self, runner, name):
+        measurement = runner.measure(name, baseline_profile())
+        assert measurement.instructions > 0
+        assert measurement.trace.output, f"{name} produced no output checksum"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("not-a-benchmark")
+
+    def test_precompile_benchmarks_marked(self):
+        assert get_benchmark("keccak256").uses_precompile
+        assert get_benchmark("ecdsa-verify").uses_precompile
+        assert not get_benchmark("sha256").uses_precompile
+
+
+class TestProfiles:
+    def test_study_profiles_cover_baseline_passes_and_levels(self):
+        profiles = all_study_profiles()
+        names = [p.name for p in profiles]
+        assert "baseline" in names and "-O3" in names and "licm" in names
+        assert len([p for p in profiles if p.kind == "pass"]) >= 30
+
+    def test_zkvm_aware_profile_configuration(self):
+        profile = zkvm_aware_profile()
+        assert profile.config.zkvm_aware
+        assert profile.config.inline_threshold == 4328
+        assert not profile.config.expand_div_by_constant
+        assert "speculative-execution" not in profile.passes
+        assert profile.cost_model.name == "zkvm"
+
+    def test_profile_lookup(self):
+        assert profile_by_name("-O3").kind == "level"
+        with pytest.raises(KeyError):
+            profile_by_name("-O9")
+
+
+class TestRunner:
+    def test_optimized_profiles_preserve_benchmark_output(self, runner):
+        base = runner.measure("fibonacci", baseline_profile())
+        optimized = runner.measure("fibonacci", profile_by_name("-O2"))
+        assert optimized.trace.output == base.trace.output
+        assert optimized.instructions < base.instructions
+
+    def test_measurement_contains_all_metrics(self, runner):
+        m = runner.measure("loop-sum", baseline_profile())
+        assert m.risc0.total_cycles >= m.instructions
+        assert m.sp1.proving_time > 0
+        assert m.cpu.cycles > 0
+        data = m.as_dict()
+        assert set(data) >= {"benchmark", "profile", "risc0", "sp1", "cpu"}
+
+    def test_gain_is_positive_for_o2_on_loop_heavy_code(self, runner):
+        gain = runner.gain("loop-sum", profile_by_name("-O2"), "risc0", "execution_time")
+        assert gain > 10.0
+
+    def test_percent_change_sign_convention(self):
+        assert percent_change(100, 50) == 50.0      # faster -> positive gain
+        assert percent_change(100, 150) == -50.0    # slower -> negative
+        assert percent_change(0, 10) == 0.0
+
+    def test_measurements_are_cached(self, runner):
+        first = runner.measure("fibonacci", baseline_profile())
+        second = runner.measure("fibonacci", baseline_profile())
+        assert first is second
+
+
+class TestRegenerators:
+    def test_table1_counts(self, runner):
+        rows = tables.table1_gain_loss_counts(runner, FAST_BENCHMARKS, FAST_PASSES)
+        assert set(rows) == {"risc0", "sp1"}
+        for counts in rows.values():
+            assert all(v >= 0 for v in counts.values())
+        total = sum(sum(c.values()) for c in rows.values())
+        assert total > 0
+
+    def test_table2_correlations_are_strong_and_positive(self, runner):
+        result = tables.table2_correlations(runner, FAST_BENCHMARKS, FAST_PASSES)
+        key = ("risc0", "execution_time", "instructions")
+        # Small profile slices keep the correlation positive but noisier than the
+        # paper's full matrix; the full sweep (examples/full_study.py) is stronger.
+        assert result[key]["kendall"] > 0.15
+        assert result[key]["pearson"] > 0.5
+        assert result[("sp1", "execution_time", "paging_cycles")]["kendall"] is None
+
+    def test_table3_manual_unrolling_helps_both_targets(self):
+        rows = tables.table3_manual_unrolling()
+        for row in rows.values():
+            assert row["instruction_change"] < 0      # fewer instructions executed
+            assert row["risc0_exec_gain"] > 0
+            assert row["x86_exec_gain"] > 0
+
+    def test_table6_baseline_statistics(self, runner):
+        stats = tables.table6_baseline_statistics(runner, FAST_BENCHMARKS)
+        entry = stats[("risc0", "proving_time")]
+        assert entry["min"] <= entry["median"] <= entry["max"]
+        assert stats[("sp1", "execution_time")]["mean"] > 0
+
+    def test_figure5_levels_improve_over_baseline(self, runner):
+        result = figures.figure5_optimization_levels(runner, FAST_BENCHMARKS)
+        assert result["-O3"][("risc0", "execution_time")] > 0
+        assert result["-O3"][("risc0", "execution_time")] >= \
+            result["-O0"][("risc0", "execution_time")]
+
+    def test_figure3_ranks_inline_positive_licm_not(self, runner):
+        # Use call-heavy benchmarks, where inlining's benefit is unambiguous.
+        result = figures.figure3_pass_impact(runner, ["factorial", "tailcall"],
+                                             ["inline", "licm", "mem2reg"], top_n=3)
+        inline_gain = result["risc0"]["total_cycles"]["inline"]["mean"]
+        licm_gain = result["risc0"]["total_cycles"]["licm"]["mean"]
+        assert inline_gain > licm_gain
+
+    def test_figure9_cost_components_structure(self, runner):
+        result = figures.figure9_cost_components(
+            runner, benchmarks=["tailcall"], profiles=["inline", "-O3"])
+        assert "inline" in result and "tailcall" in result["inline"]
+        row = result["inline"]["tailcall"]
+        assert {"exec_gain", "prove_gain", "instructions_change"} <= set(row)
+
+    def test_figure14_zkvm_aware_vs_vanilla(self, runner):
+        result = figures.figure14_zkvm_aware(runner, ["fibonacci", "loop-sum"])
+        assert set(result) == {"fibonacci", "loop-sum"}
+        # The zkVM-aware build must not increase dynamic instruction count.
+        for row in result.values():
+            assert row["instruction_reduction"] >= -1.0
+
+    def test_figure15_native_much_faster_than_proving(self, runner):
+        result = figures.figure15_native_vs_zkvm(runner, ["npb-is"])
+        row = result["npb-is"]
+        assert row["risc0_proving_s"] > row["native_execution_s"] * 100
+
+    def test_case_studies(self):
+        strength = tables.case_study_strength_reduction()
+        assert strength["-O3"]["output"] == strength["-O3-zkvm"]["output"]
+        abs_case = tables.case_study_branchless_abs()
+        assert abs_case["branchy"]["output"] == abs_case["branchless"]["output"]
+        fission = tables.case_study_loop_fission()
+        assert fission["fused"]["instructions"] < fission["fissioned"]["instructions"]
+
+
+class TestAutotuner:
+    def test_autotuner_finds_configuration_at_least_as_good_as_seeds(self):
+        from repro.autotuner import GeneticAutotuner
+
+        runner = BenchmarkRunner()
+        tuner = GeneticAutotuner(runner=runner, seed=3, population_size=6)
+        result = tuner.tune("loop-sum", iterations=8)
+        assert result.evaluations == 8
+        assert result.best_cycles <= result.baseline_cycles
+        assert result.best.passes
+        assert result.speedup_over_o3 > 0.5

@@ -1,0 +1,195 @@
+"""Tests for the MiniC lexer, parser and code generator."""
+
+import pytest
+
+from repro.frontend import LexerError, ParseError, SemanticError, compile_source, tokenize
+from repro.ir import verify_module
+from repro.ir.interpreter import run_module
+
+from support import interpret
+
+
+class TestLexer:
+    def test_tokenizes_keywords_identifiers_and_numbers(self):
+        tokens = tokenize("fn main() -> int { return 42; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword" and tokens[0].value == "fn"
+        assert "number" in kinds and kinds[-1] == "eof"
+
+    def test_hex_numbers(self):
+        tokens = tokenize("var x = 0xFF;")
+        assert any(t.value == "0xFF" and t.kind == "number" for t in tokens)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// line comment\n/* block\ncomment */ fn")
+        assert [t.value for t in tokens if t.kind != "eof"] == ["fn"]
+
+    def test_multi_character_operators(self):
+        values = [t.value for t in tokenize("a >>> b << c <= d && e")]
+        assert ">>>" in values and "<<" in values and "<=" in values and "&&" in values
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("fn main() { $ }")
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("/* never closed")
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("fn a() {\n  return 1;\n}")
+        return_token = next(t for t in tokens if t.value == "return")
+        assert return_token.line == 2
+
+
+class TestParserErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            compile_source("fn main() -> int { return 1 }")
+
+    def test_unexpected_top_level_token(self):
+        with pytest.raises(ParseError):
+            compile_source("return 1;")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            compile_source("fn main() -> int { break; return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            compile_source("fn main() -> int { return missing; }")
+
+    def test_call_to_unknown_function(self):
+        with pytest.raises(SemanticError):
+            compile_source("fn main() -> int { return nothere(1); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            compile_source("fn f(a, b) -> int { return a + b; } "
+                           "fn main() -> int { return f(1); }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError):
+            compile_source("fn main() -> int { var x = 1; var x = 2; return x; }")
+
+
+class TestSemantics:
+    def test_arithmetic_and_precedence(self):
+        assert interpret("fn main() -> int { return 2 + 3 * 4 - 10 / 2; }").return_value == 9
+
+    def test_division_truncates_toward_zero(self):
+        assert interpret("fn main() -> int { return (0 - 7) / 2; }").return_value == -3
+        assert interpret("fn main() -> int { return (0 - 7) % 2; }").return_value == -1
+
+    def test_shift_operators(self):
+        assert interpret("fn main() -> int { return (1 << 5) + (64 >> 2); }").return_value == 48
+
+    def test_logical_shift_right(self):
+        result = interpret("fn main() -> int { return (0 - 1) >>> 28; }")
+        assert result.return_value == 15
+
+    def test_bitwise_operators(self):
+        assert interpret("fn main() -> int { return (12 & 10) | (1 ^ 3); }").return_value == 10
+
+    def test_comparisons_produce_zero_or_one(self):
+        assert interpret("fn main() -> int { return (3 < 5) + (5 < 3) + (4 == 4); }").return_value == 2
+
+    def test_short_circuit_and(self):
+        source = """
+        global hits[1];
+        fn bump() -> int { hits[0] = hits[0] + 1; return 1; }
+        fn main() -> int { var r = 0 && bump(); return hits[0]; }
+        """
+        assert interpret(source).return_value == 0
+
+    def test_short_circuit_or(self):
+        source = """
+        global hits[1];
+        fn bump() -> int { hits[0] = hits[0] + 1; return 1; }
+        fn main() -> int { var r = 1 || bump(); return hits[0]; }
+        """
+        assert interpret(source).return_value == 0
+
+    def test_while_and_break_continue(self):
+        source = """
+        fn main() -> int {
+          var i = 0; var acc = 0;
+          while (1) {
+            i = i + 1;
+            if (i % 2 == 0) { continue; }
+            if (i > 9) { break; }
+            acc = acc + i;
+          }
+          return acc;
+        }
+        """
+        assert interpret(source).return_value == 1 + 3 + 5 + 7 + 9
+
+    def test_for_loop_with_empty_clauses(self):
+        source = """
+        fn main() -> int {
+          var i = 0; var acc = 0;
+          for (; i < 5;) { acc = acc + i; i = i + 1; }
+          return acc;
+        }
+        """
+        assert interpret(source).return_value == 10
+
+    def test_global_initializers(self):
+        source = """
+        global data[4] = {10, 20, 30};
+        fn main() -> int { return data[0] + data[1] + data[2] + data[3]; }
+        """
+        assert interpret(source).return_value == 60
+
+    def test_local_arrays(self):
+        source = """
+        fn main() -> int {
+          var buf[8];
+          var i;
+          for (i = 0; i < 8; i = i + 1) { buf[i] = i * i; }
+          return buf[7];
+        }
+        """
+        assert interpret(source).return_value == 49
+
+    def test_arrays_passed_by_reference(self):
+        source = """
+        global data[4];
+        fn fill(v, n) { var i; for (i = 0; i < n; i = i + 1) { v[i] = i + 1; } }
+        fn main() -> int { fill(data, 4); return data[3]; }
+        """
+        assert interpret(source).return_value == 4
+
+    def test_recursion(self):
+        source = "fn f(n) -> int { if (n < 2) { return n; } return f(n-1) + f(n-2); } " \
+                 "fn main() -> int { return f(12); }"
+        assert interpret(source).return_value == 144
+
+    def test_constants_fold_in_sizes_and_expressions(self):
+        source = """
+        const N = 4 * 4;
+        global data[N];
+        fn main() -> int { return N + 1; }
+        """
+        assert interpret(source).return_value == 17
+
+    def test_print_builtin_produces_output(self):
+        result = interpret("fn main() -> int { print(7); print(0 - 3); return 0; }")
+        assert result.output == [7, -3]
+
+    def test_generated_ir_verifies(self, reference_module):
+        verify_module(reference_module)
+
+    def test_void_function(self):
+        source = """
+        global flag[1];
+        fn set_it() { flag[0] = 5; }
+        fn main() -> int { set_it(); return flag[0]; }
+        """
+        assert interpret(source).return_value == 5
+
+    def test_inline_attribute_recorded(self):
+        module = compile_source("inline fn tiny(x) -> int { return x; } "
+                                "fn main() -> int { return tiny(3); }")
+        assert "alwaysinline" in module.get_function("tiny").attributes

@@ -1,0 +1,248 @@
+"""Tests for the IR core: types, values, builder, verifier, CFG analyses."""
+
+import pytest
+
+from repro.ir import (
+    Alloca, BinaryOp, Branch, CondBranch, Constant, DominatorTree, Function,
+    GEP, ICmp, IRBuilder, IntType, Load, LoopInfo, Module, Phi, Ret, Store,
+    UndefValue, VerificationError, clone_module, dominance_frontiers,
+    format_function, postorder, predecessors_map, reachable_blocks,
+    remove_unreachable_blocks, reverse_postorder, verify_function, verify_module,
+    I1, I32, PTR, VOID,
+)
+from repro.ir.interpreter import run_module
+
+
+def build_loop_function(module=None):
+    """for (i = 0; i < 10; i++) acc += i; return acc  (in SSA form)."""
+    module = module or Module("m")
+    function = module.create_function("loop_sum", I32, [])
+    entry = function.add_block("entry")
+    header = function.add_block("header")
+    body = function.add_block("body")
+    exit_block = function.add_block("exit")
+    builder = IRBuilder(entry)
+    builder.br(header)
+
+    i_phi = Phi(I32, "i")
+    acc_phi = Phi(I32, "acc")
+    header.append(i_phi)
+    header.append(acc_phi)
+    builder.position_at_end(header)
+    cond = builder.icmp("slt", i_phi, Constant(10))
+    builder.cond_br(cond, body, exit_block)
+
+    builder.position_at_end(body)
+    acc_next = builder.add(acc_phi, i_phi, "acc.next")
+    i_next = builder.add(i_phi, Constant(1), "i.next")
+    builder.br(header)
+
+    i_phi.add_incoming(Constant(0), entry)
+    i_phi.add_incoming(i_next, body)
+    acc_phi.add_incoming(Constant(0), entry)
+    acc_phi.add_incoming(acc_next, body)
+
+    builder.position_at_end(exit_block)
+    builder.ret(acc_phi)
+    return module, function
+
+
+class TestTypes:
+    def test_integer_widths_and_masks(self):
+        assert I32.size_bytes == 4 and I32.mask == 0xFFFFFFFF
+        assert I1.bits == 1 and I1.wrap(3) == 1
+
+    def test_signed_wrapping(self):
+        assert I32.to_signed(0xFFFFFFFF) == -1
+        assert I32.to_signed(0x7FFFFFFF) == 2 ** 31 - 1
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(24)
+
+    def test_constants_wrap(self):
+        assert Constant(-1).value == 0xFFFFFFFF
+        assert Constant(-1).signed_value == -1
+
+
+class TestUseDef:
+    def test_users_tracked_and_rauw(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [I32], ["x"])
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        a = builder.add(f.arguments[0], Constant(1), "a")
+        b = builder.mul(a, Constant(2), "b")
+        builder.ret(b)
+        assert b in a.users
+        replacement = Constant(7)
+        a.replace_all_uses_with(replacement)
+        assert b.lhs is replacement and a.users == []
+
+    def test_erase_drops_operand_uses(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [I32], ["x"])
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        a = builder.add(f.arguments[0], Constant(1), "a")
+        builder.ret(f.arguments[0])
+        a.erase()
+        assert a not in block.instructions
+        assert all(u is not a for u in f.arguments[0].users)
+
+
+class TestVerifier:
+    def test_accepts_well_formed_function(self):
+        module, function = build_loop_function()
+        verify_module(module)
+
+    def test_rejects_missing_terminator(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [])
+        block = f.add_block("entry")
+        block.append(BinaryOp("add", Constant(1), Constant(2), "x"))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_rejects_phi_after_non_phi(self):
+        module, function = build_loop_function()
+        header = function.blocks[1]
+        phi = Phi(I32, "late")
+        phi.add_incoming(Constant(0), function.blocks[0])
+        phi.add_incoming(Constant(0), function.blocks[2])
+        header.append(phi)  # appended at the end: after non-phi instructions
+        with pytest.raises(VerificationError):
+            verify_function(function)
+
+    def test_rejects_use_not_dominating(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [])
+        entry = f.add_block("entry")
+        other = f.add_block("other")
+        merge = f.add_block("merge")
+        builder = IRBuilder(entry)
+        cond = builder.icmp("eq", Constant(0), Constant(0))
+        builder.cond_br(cond, other, merge)
+        builder.position_at_end(other)
+        value = builder.add(Constant(1), Constant(2), "v")
+        builder.br(merge)
+        builder.position_at_end(merge)
+        builder.ret(value)  # `value` does not dominate merge
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+
+class TestCFGAnalyses:
+    def test_reverse_postorder_starts_at_entry(self):
+        module, function = build_loop_function()
+        rpo = reverse_postorder(function)
+        assert rpo[0] is function.entry_block
+        assert len(rpo) == len(function.blocks)
+
+    def test_predecessors_map(self):
+        module, function = build_loop_function()
+        preds = predecessors_map(function)
+        header = function.blocks[1]
+        assert {b.name for b in preds[header]} == {function.blocks[0].name,
+                                                   function.blocks[2].name}
+
+    def test_unreachable_block_removal(self):
+        module, function = build_loop_function()
+        dead = function.add_block("dead")
+        IRBuilder(dead).ret(Constant(0))
+        assert remove_unreachable_blocks(function) == 1
+        assert dead not in function.blocks
+
+    def test_dominator_tree(self):
+        module, function = build_loop_function()
+        entry, header, body, exit_block = function.blocks
+        domtree = DominatorTree(function)
+        assert domtree.dominates(entry, exit_block)
+        assert domtree.dominates(header, body)
+        assert not domtree.dominates(body, exit_block)
+        assert domtree.strictly_dominates(entry, header)
+
+    def test_dominance_frontiers(self):
+        module, function = build_loop_function()
+        entry, header, body, exit_block = function.blocks
+        frontiers = dominance_frontiers(function)
+        assert header in frontiers[body]  # back edge makes header its own frontier
+
+    def test_loop_info_finds_natural_loop(self):
+        module, function = build_loop_function()
+        info = LoopInfo(function)
+        loops = info.loops()
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header.name == "header.2"
+        assert loop.depth == 1
+        assert loop.preheader() is function.entry_block
+        assert {b.name for b in loop.exit_blocks()} == {"exit.4"}
+
+
+class TestCloning:
+    def test_clone_module_is_independent_and_equivalent(self):
+        module, function = build_loop_function()
+        clone = clone_module(module)
+        assert run_module(clone, "loop_sum").return_value == \
+               run_module(module, "loop_sum").return_value == 45
+        # Mutating the clone must not affect the original.
+        clone.get_function("loop_sum").blocks[0].instructions[0]
+        clone_f = clone.get_function("loop_sum")
+        clone_f.remove_block(clone_f.blocks[-1])
+        verify_module(module)
+
+    def test_clone_preserves_attributes_and_globals(self):
+        module = Module("m")
+        module.add_global("g", I32, 4, [1, 2, 3, 4])
+        f = module.create_function("f", I32, [])
+        f.attributes.add("alwaysinline")
+        block = f.add_block("entry")
+        IRBuilder(block).ret(Constant(0))
+        clone = clone_module(module)
+        assert clone.get_global("g").initializer == [1, 2, 3, 4]
+        assert "alwaysinline" in clone.get_function("f").attributes
+
+
+class TestInterpreter:
+    def test_loop_function_result(self):
+        module, _ = build_loop_function()
+        assert run_module(module, "loop_sum").return_value == sum(range(10))
+
+    def test_select_and_undef(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [I32], ["x"])
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        cond = builder.icmp("sgt", f.arguments[0], Constant(0))
+        result = builder.select(cond, f.arguments[0], Constant(-1))
+        builder.ret(result)
+        assert run_module(module, "f", [5]).return_value == 5
+        assert run_module(module, "f", [-5]).return_value == -1
+
+    def test_memory_operations(self):
+        module = Module("m")
+        module.add_global("g", I32, 4)
+        f = module.create_function("f", I32, [])
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        gv = module.get_global("g")
+        ptr = builder.gep(gv, Constant(2), 4)
+        builder.store(Constant(99), ptr)
+        loaded = builder.load(ptr)
+        builder.ret(loaded)
+        assert run_module(module, "f").return_value == 99
+
+    def test_division_by_zero_follows_riscv_semantics(self):
+        module = Module("m")
+        f = module.create_function("f", I32, [])
+        block = f.add_block("entry")
+        builder = IRBuilder(block)
+        builder.ret(builder.sdiv(Constant(5), Constant(0)))
+        assert run_module(module, "f").return_value == -1
+
+    def test_printer_output_contains_structure(self):
+        module, function = build_loop_function()
+        text = format_function(function)
+        assert "define i32 @loop_sum" in text
+        assert "phi" in text and "icmp slt" in text and "br" in text

@@ -1,0 +1,138 @@
+"""Differential tests: every pass and every preset pipeline must preserve the
+observable behaviour (return value + output) of the guest programs, both under
+the IR interpreter and end-to-end through the RISC-V backend and emulator."""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.emulator import run_program
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.ir.interpreter import run_module
+from repro.passes import (
+    OPTIMIZATION_LEVELS, available_passes, pipeline_for_level, run_passes,
+)
+
+from support import REFERENCE_PROGRAM
+
+SMALL_PROGRAMS = {
+    "arith": """
+        fn main() -> int {
+          var acc = 0;
+          var i;
+          for (i = 1; i <= 30; i = i + 1) { acc = acc + i * i - i / 3 + i % 7; }
+          print(acc);
+          return acc;
+        }
+    """,
+    "nested-loops": """
+        global grid[64];
+        fn main() -> int {
+          var i; var j;
+          for (i = 0; i < 8; i = i + 1) {
+            for (j = 0; j < 8; j = j + 1) { grid[i * 8 + j] = (i + 1) * (j + 2); }
+          }
+          var acc = 0;
+          for (i = 0; i < 64; i = i + 1) { acc = acc + grid[i]; }
+          print(acc);
+          return acc;
+        }
+    """,
+    "branches": """
+        fn pick(x) -> int {
+          if (x < 0) { return 0 - x; }
+          if (x % 3 == 0) { return x / 3; }
+          if (x % 3 == 1) { return x * 2 + 1; }
+          return x - 1;
+        }
+        fn main() -> int {
+          var acc = 0;
+          var i;
+          for (i = 0 - 10; i < 20; i = i + 1) { acc = acc + pick(i); }
+          print(acc);
+          return acc;
+        }
+    """,
+    "calls-and-recursion": """
+        fn fib(n) -> int { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+        fn twice(x) -> int { return x + x; }
+        fn main() -> int {
+          var r = fib(11) + twice(fib(7));
+          print(r);
+          return r;
+        }
+    """,
+}
+
+
+@pytest.fixture(scope="module")
+def interpreter_references():
+    refs = {}
+    for name, source in SMALL_PROGRAMS.items():
+        module = compile_source(source, name)
+        refs[name] = (module, run_module(module))
+    return refs
+
+
+@pytest.mark.parametrize("pass_name", available_passes())
+def test_single_pass_preserves_interpreter_behaviour(pass_name, interpreter_references):
+    for name, (module, reference) in interpreter_references.items():
+        optimized = run_passes(module, [pass_name])
+        verify_module(optimized)
+        result = run_module(optimized)
+        assert result.return_value == reference.return_value, \
+            f"{pass_name} changed the return value of {name}"
+        assert result.output == reference.output, \
+            f"{pass_name} changed the output of {name}"
+
+
+@pytest.mark.parametrize("pass_name", available_passes())
+def test_single_pass_preserves_machine_behaviour(pass_name):
+    module = compile_source(REFERENCE_PROGRAM, "reference")
+    reference = run_program(compile_module(module))
+    optimized = run_passes(module, [pass_name])
+    result = run_program(compile_module(optimized))
+    assert result.return_value == reference.return_value
+    assert result.output == reference.output
+
+
+@pytest.mark.parametrize("level", [l for l in OPTIMIZATION_LEVELS if l != "baseline"])
+def test_preset_levels_preserve_behaviour(level, interpreter_references):
+    for name, (module, reference) in interpreter_references.items():
+        optimized = module.clone()
+        pipeline_for_level(level).run(optimized)
+        verify_module(optimized)
+        result = run_module(optimized)
+        assert result.return_value == reference.return_value
+        assert result.output == reference.output
+
+
+@pytest.mark.parametrize("level", ["-O1", "-O2", "-O3"])
+def test_optimization_reduces_machine_instructions(level):
+    module = compile_source(REFERENCE_PROGRAM, "reference")
+    baseline = run_program(compile_module(module))
+    optimized = module.clone()
+    pipeline_for_level(level).run(optimized)
+    result = run_program(compile_module(optimized))
+    assert result.return_value == baseline.return_value
+    assert result.instructions < baseline.instructions, \
+        f"{level} did not reduce dynamic instruction count"
+
+
+def test_zkvm_aware_o3_preserves_behaviour_and_reduces_instructions():
+    module = compile_source(REFERENCE_PROGRAM, "reference")
+    baseline = run_program(compile_module(module))
+    optimized = module.clone()
+    pipeline_for_level("-O3", zkvm_aware=True).run(optimized)
+    result = run_program(compile_module(optimized))
+    assert result.return_value == baseline.return_value
+    assert result.instructions < baseline.instructions
+
+
+def test_pass_sequences_compose():
+    module = compile_source(SMALL_PROGRAMS["branches"], "branches")
+    reference = run_module(module)
+    sequence = ["mem2reg", "instcombine", "simplifycfg", "gvn", "licm",
+                "loop-unroll", "jump-threading", "adce", "simplifycfg"]
+    optimized = run_passes(module, sequence, verify_each=True)
+    assert run_module(optimized).return_value == reference.return_value

@@ -1,0 +1,323 @@
+"""Unit tests for individual optimization passes (what each transformation
+actually does to the IR, beyond preserving semantics)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Alloca, Call, Load, Phi, Select, Store, verify_module
+from repro.ir.interpreter import run_module
+from repro.passes import PassConfig, PassManager, get_pass, run_passes
+
+
+def count_instructions(module, kind=None):
+    total = 0
+    for function in module.defined_functions():
+        for inst in function.instructions():
+            if kind is None or isinstance(inst, kind):
+                total += 1
+    return total
+
+
+def count_opcode(module, opcode):
+    return sum(1 for f in module.defined_functions() for i in f.instructions()
+               if getattr(i, "opcode", None) == opcode)
+
+
+SIMPLE_LOOP = """
+global data[16];
+fn main() -> int {
+  var acc = 0;
+  var i;
+  for (i = 0; i < 16; i = i + 1) {
+    data[i] = i * 4;
+    acc = acc + data[i];
+  }
+  print(acc);
+  return acc;
+}
+"""
+
+
+class TestMem2Reg:
+    def test_promotes_scalars_and_inserts_phis(self):
+        module = compile_source(SIMPLE_LOOP)
+        before_allocas = count_instructions(module, Alloca)
+        optimized = run_passes(module, ["mem2reg"])
+        assert count_instructions(optimized, Alloca) < before_allocas
+        assert count_instructions(optimized, Phi) > 0
+        assert count_instructions(optimized, Load) < count_instructions(module, Load)
+
+    def test_does_not_touch_escaping_arrays(self):
+        source = """
+        fn use(p, n) -> int { return p[n]; }
+        fn main() -> int { var buf[4]; buf[2] = 9; return use(buf, 2); }
+        """
+        module = compile_source(source)
+        optimized = run_passes(module, ["mem2reg"])
+        # The array alloca must survive (its address escapes into the call).
+        assert any(isinstance(i, Alloca) and i.count == 4
+                   for i in optimized.get_function("main").instructions())
+
+
+class TestSROA:
+    def test_splits_small_constant_indexed_arrays(self):
+        source = """
+        fn main() -> int {
+          var pair[2];
+          pair[0] = 3;
+          pair[1] = 4;
+          return pair[0] * pair[1];
+        }
+        """
+        module = compile_source(source)
+        optimized = run_passes(module, ["sroa"])
+        assert run_module(optimized).return_value == 12
+        # The 2-element aggregate is gone (either split or fully promoted).
+        assert not any(isinstance(i, Alloca) and i.count == 2
+                       for i in optimized.get_function("main").instructions())
+
+
+class TestInstCombine:
+    def test_multiplication_becomes_shift(self):
+        source = "fn main() -> int { var x = read_input(0); return x * 8; }"
+        optimized = run_passes(compile_source(source), ["instcombine"])
+        assert count_opcode(optimized, "shl") >= 1
+        assert count_opcode(optimized, "mul") == 0
+
+    def test_division_expansion_is_cost_model_dependent(self):
+        source = "fn main() -> int { var x = read_input(0); return x / 8; }"
+        module = compile_source(source)
+        cpu_tuned = run_passes(module, ["instcombine"], PassConfig(zkvm_aware=False))
+        zkvm_tuned = run_passes(module, ["instcombine"], PassConfig(zkvm_aware=True))
+        # CPU tuning expands sdiv-by-power-of-two into shifts (Figure 2a) ...
+        assert count_opcode(cpu_tuned, "sdiv") == 0
+        # ... the zkVM-aware cost model keeps the single division.
+        assert count_opcode(zkvm_tuned, "sdiv") == 1
+
+    def test_constant_folding(self):
+        source = "fn main() -> int { return (3 + 4) * (10 - 2); }"
+        optimized = run_passes(compile_source(source), ["mem2reg", "instcombine", "dce"])
+        assert count_opcode(optimized, "add") == 0
+        assert count_opcode(optimized, "mul") == 0
+
+
+class TestSimplifyCFG:
+    def test_folds_diamond_into_select(self):
+        source = """
+        fn main() -> int {
+          var x = read_input(0) % 100;
+          var y;
+          if (x < 50) { y = x * 2; } else { y = x + 5; }
+          return y;
+        }
+        """
+        module = run_passes(compile_source(source), ["mem2reg", "simplifycfg"])
+        has_select = any(isinstance(i, Select)
+                         for i in module.get_function("main").instructions())
+        assert has_select
+        assert len(module.get_function("main").blocks) == 1
+
+    def test_zkvm_aware_config_is_more_conservative(self):
+        source = """
+        fn main() -> int {
+          var x = read_input(0) % 100;
+          var y;
+          if (x < 50) { y = x * 2 + x / 3; } else { y = x + 5 - x * 7; }
+          return y;
+        }
+        """
+        module = compile_source(source)
+        aggressive = run_passes(module, ["mem2reg", "simplifycfg"],
+                                PassConfig(fold_branch_to_select_threshold=3))
+        conservative = run_passes(module, ["mem2reg", "simplifycfg"],
+                                  PassConfig(fold_branch_to_select_threshold=3,
+                                             zkvm_aware=True))
+        aggressive_blocks = len(aggressive.get_function("main").blocks)
+        conservative_blocks = len(conservative.get_function("main").blocks)
+        assert aggressive_blocks <= conservative_blocks
+
+    def test_removes_constant_branches(self):
+        source = """
+        fn main() -> int {
+          if (1 < 2) { return 10; }
+          return 20;
+        }
+        """
+        optimized = run_passes(compile_source(source),
+                               ["mem2reg", "instcombine", "simplifycfg"])
+        assert len(optimized.get_function("main").blocks) == 1
+        assert run_module(optimized).return_value == 10
+
+
+class TestInlining:
+    def test_inline_removes_call(self):
+        source = """
+        fn helper(a, b) -> int { return a * 3 + b; }
+        fn main() -> int { return helper(4, 5) + helper(1, 2); }
+        """
+        optimized = run_passes(compile_source(source), ["inline"])
+        assert count_instructions(optimized.get_function("main").module, Call) == \
+            count_opcode(optimized, "__nonexistent__")  # i.e. zero direct calls
+        assert run_module(optimized).return_value == 22
+
+    def test_always_inline_respects_attribute(self):
+        source = """
+        inline fn tiny(x) -> int { return x + 1; }
+        fn big(x) -> int {
+          var acc = 0; var i;
+          for (i = 0; i < 20; i = i + 1) { acc = acc + x * i + i / 3 + i % 5 - x; }
+          return acc;
+        }
+        fn main() -> int { return tiny(1) + big(2); }
+        """
+        optimized = run_passes(compile_source(source), ["always-inline"])
+        calls = [i.callee for f in optimized.defined_functions()
+                 for i in f.instructions() if isinstance(i, Call)]
+        assert "tiny" not in calls
+        assert "big" in calls
+
+    def test_recursive_functions_not_inlined(self):
+        source = """
+        fn f(n) -> int { if (n <= 0) { return 0; } return n + f(n - 1); }
+        fn main() -> int { return f(5); }
+        """
+        optimized = run_passes(compile_source(source), ["inline"])
+        assert run_module(optimized).return_value == 15
+        assert optimized.get_function("f") is not None
+
+    def test_inline_threshold_controls_decisions(self):
+        source = """
+        fn medium(x) -> int {
+          var acc = x;
+          var i;
+          for (i = 0; i < 10; i = i + 1) { acc = acc + i * x - i / 2 + (i ^ x); }
+          return acc;
+        }
+        fn main() -> int { var a = read_input(0); var b = read_input(1); return medium(a) + medium(b); }
+        """
+        module = compile_source(source)
+        not_inlined = run_passes(module, ["inline"], PassConfig(inline_threshold=1))
+        inlined = run_passes(module, ["inline"], PassConfig(inline_threshold=4328))
+        calls_low = sum(1 for f in not_inlined.defined_functions()
+                        for i in f.instructions() if isinstance(i, Call))
+        calls_high = sum(1 for f in inlined.defined_functions()
+                         for i in f.instructions() if isinstance(i, Call))
+        assert calls_high < calls_low
+
+
+class TestLoopPasses:
+    def test_licm_creates_preheader_and_hoists(self):
+        source = """
+        fn main() -> int {
+          var n = read_input(0) % 50 + 8;
+          var acc = 0;
+          var i;
+          for (i = 0; i < n; i = i + 1) { acc = acc + (n * 7 + 3); }
+          print(acc);
+          return acc;
+        }
+        """
+        module = compile_source(source)
+        reference = run_module(module)
+        optimized = run_passes(module, ["mem2reg", "licm"], verify_each=True)
+        assert run_module(optimized).return_value == reference.return_value
+        # The invariant n*7+3 must have been hoisted out of the loop body.
+        from repro.ir import LoopInfo
+        function = optimized.get_function("main")
+        loops = LoopInfo(function).loops()
+        assert loops, "loop disappeared unexpectedly"
+        in_loop_muls = sum(1 for b in loops[0].blocks for i in b.instructions
+                           if getattr(i, "opcode", None) == "mul")
+        assert in_loop_muls == 0
+
+    def test_loop_unroll_eliminates_small_loop(self):
+        source = """
+        fn main() -> int {
+          var acc = 0;
+          var i;
+          for (i = 0; i < 4; i = i + 1) { acc = acc + i * 3; }
+          return acc;
+        }
+        """
+        module = compile_source(source)
+        optimized = run_passes(module, ["mem2reg", "instcombine", "loop-unroll", "sccp", "adce"],
+                               verify_each=True)
+        from repro.ir import LoopInfo
+        assert run_module(optimized).return_value == 18
+        assert not LoopInfo(optimized.get_function("main")).loops()
+
+    def test_loop_deletion_removes_dead_loop(self):
+        source = """
+        fn main() -> int {
+          var waste = 0;
+          var i;
+          for (i = 0; i < 100; i = i + 1) { waste = waste + i; }
+          return 7;
+        }
+        """
+        module = compile_source(source)
+        optimized = run_passes(module, ["mem2reg", "instcombine", "dce", "loop-deletion"],
+                               verify_each=True)
+        from repro.ir import LoopInfo
+        assert run_module(optimized).return_value == 7
+        assert not LoopInfo(optimized.get_function("main")).loops()
+
+    def test_loop_extract_outlines_loops(self):
+        module = compile_source(SIMPLE_LOOP)
+        optimized = run_passes(module, ["loop-extract"], verify_each=True)
+        assert len(optimized.functions) > len(module.functions)
+        assert run_module(optimized).output == run_module(module).output
+
+
+class TestTailCall:
+    def test_self_recursive_tail_call_becomes_loop(self):
+        source = """
+        fn count(n, acc) -> int {
+          if (n == 0) { return acc; }
+          return count(n - 1, acc + n);
+        }
+        fn main() -> int { return count(2000, 0); }
+        """
+        module = compile_source(source)
+        optimized = run_passes(module, ["tailcall"], verify_each=True)
+        calls = [i for i in optimized.get_function("count").instructions()
+                 if isinstance(i, Call)]
+        assert not calls
+        # Deep recursion now runs in constant stack.
+        assert run_module(optimized).return_value == 2000 * 2001 // 2
+
+
+class TestCSE:
+    def test_gvn_removes_redundant_computation(self):
+        source = """
+        fn main() -> int {
+          var a = read_input(0) % 97;
+          var x = a * 13 + 7;
+          var y = a * 13 + 7;
+          return x + y;
+        }
+        """
+        module = run_passes(compile_source(source), ["mem2reg", "gvn"])
+        assert count_opcode(module, "mul") == 1
+
+    def test_sccp_folds_constant_branches(self):
+        source = """
+        fn main() -> int {
+          var mode = 3;
+          if (mode == 3) { return 111; }
+          return 222;
+        }
+        """
+        optimized = run_passes(compile_source(source), ["mem2reg", "sccp"])
+        assert run_module(optimized).return_value == 111
+        assert len(optimized.get_function("main").blocks) <= 2
+
+
+class TestReg2Mem:
+    def test_inverse_of_mem2reg_adds_memory_traffic(self):
+        module = compile_source(SIMPLE_LOOP)
+        ssa = run_passes(module, ["mem2reg"])
+        demoted = run_passes(module, ["mem2reg", "reg2mem"])
+        assert count_instructions(demoted, Phi) == 0
+        assert count_instructions(demoted, Store) > count_instructions(ssa, Store)
+        assert run_module(demoted).return_value == run_module(module).return_value
