@@ -1,0 +1,34 @@
+# CI-friendly entry points for the reproduction.
+#
+#   make test           tier-1 test suite (the driver's gate)
+#   make test-engine    engine/cache/CLI tests only
+#   make figures-smoke  regenerate a figure + table on a tiny slice via the CLI
+#   make bench-engine   serial vs parallel vs warm-cache wall-time report
+#   make bench          full pytest-benchmark harness (slow)
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-engine figures-smoke bench-engine bench clean-cache
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+test-engine:
+	$(PYTHON) -m pytest -x -q tests/test_engine.py
+
+# Small slices so this finishes in seconds; the second run of each target is
+# expected to report computed=0 (warm disk cache).
+figures-smoke:
+	$(PYTHON) -m repro figure 5 --benchmarks fibonacci loop-sum
+	$(PYTHON) -m repro table 6 --benchmarks fibonacci loop-sum
+	$(PYTHON) -m repro figure 14 --benchmarks fibonacci
+
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+clean-cache:
+	$(PYTHON) -c "from repro.experiments.cache import MeasurementCache; print(MeasurementCache().clear(), 'entries removed')"

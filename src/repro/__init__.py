@@ -18,9 +18,14 @@ Quick start::
     optimized = run_passes(module, ["mem2reg", "instcombine", "simplifycfg"])
     stats = run_program(compile_module(optimized))
     assert stats.return_value == 42
+
+Study-scale measurement goes through the parallel, disk-cached experiment
+engine — ``repro.experiments.ExperimentEngine`` in code, ``python -m repro``
+on the command line (``measure``, ``figure``, ``table``, ``autotune``, ...).
+See README.md and docs/ARCHITECTURE.md.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "frontend", "ir", "passes", "backend", "emulator", "zkvm", "cpu",

@@ -5,10 +5,19 @@ configurations are pass sequences up to a bounded depth plus values for the
 numeric knobs (inline-threshold, unroll-threshold); the fitness function is
 the zkVM *cycle count*, which the paper shows is a cheap and faithful proxy
 for execution and proving time.
+
+The search is generational: each generation's population is submitted to the
+runner as **one batched shard** via ``measure_pairs``, so an
+:class:`~repro.experiments.engine.ExperimentEngine` evaluates the whole
+generation across worker processes and memoizes every candidate in the
+content-addressed measurement cache.  Because cache keys hash the pass list
+and knobs (not the candidate's name), re-discovered configurations — and
+entire re-runs with the same seed — cost nothing to re-evaluate.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -16,6 +25,9 @@ from typing import Callable, Optional
 from ..passes import PassConfig, available_passes
 from ..experiments.profiles import Profile, custom_profile
 from ..experiments.runner import BenchmarkRunner
+
+#: Process-wide candidate-profile id supply (see evaluate_generation).
+_CANDIDATE_IDS = itertools.count()
 
 
 @dataclass
@@ -72,21 +84,31 @@ class AutotuneResult:
 
 
 class GeneticAutotuner:
-    """Population-based search over pass sequences."""
+    """Population-based search over pass sequences.
+
+    Pass an :class:`~repro.experiments.engine.ExperimentEngine` as ``runner``
+    to evaluate each generation in parallel and persist every candidate
+    measurement; a plain :class:`BenchmarkRunner` evaluates the same batches
+    serially.  ``generation_size`` controls how many children are bred (and
+    measured as one shard) per generation.
+    """
 
     def __init__(self, runner: Optional[BenchmarkRunner] = None,
                  space: Optional[TuningSpace] = None,
                  population_size: int = 12, seed: int = 0,
-                 zkvm: str = "risc0"):
+                 zkvm: str = "risc0",
+                 generation_size: Optional[int] = None):
         self.runner = runner or BenchmarkRunner()
         self.space = space or TuningSpace()
         self.population_size = population_size
+        self.generation_size = generation_size or max(2, population_size // 2)
         self.random = random.Random(seed)
         self.zkvm = zkvm
         self.evaluations = 0
 
     # -- candidate construction -------------------------------------------------
     def random_candidate(self) -> Candidate:
+        """A uniformly random pass sequence plus random knob values."""
         depth = self.random.randint(1, self.space.max_depth)
         passes = [self.random.choice(self.space.passes) for _ in range(depth)]
         return Candidate(
@@ -96,6 +118,7 @@ class GeneticAutotuner:
         )
 
     def mutate(self, candidate: Candidate) -> Candidate:
+        """Replace/insert/drop one pass and occasionally re-roll the knobs."""
         passes = list(candidate.passes)
         op = self.random.random()
         if op < 0.3 and passes:
@@ -114,6 +137,7 @@ class GeneticAutotuner:
         return Candidate(passes, inline_threshold, unroll_threshold)
 
     def crossover(self, a: Candidate, b: Candidate) -> Candidate:
+        """Splice a prefix of ``a`` onto a suffix of ``b``, inheriting knobs."""
         if a.passes and b.passes:
             cut_a = self.random.randrange(len(a.passes) + 1)
             cut_b = self.random.randrange(len(b.passes) + 1)
@@ -124,19 +148,51 @@ class GeneticAutotuner:
                          self.random.choice([a.inline_threshold, b.inline_threshold]),
                          self.random.choice([a.unroll_threshold, b.unroll_threshold]))
 
+    def _breed(self, survivors: list[Candidate]) -> Candidate:
+        """One child for the next generation: mutation or survivor crossover."""
+        if self.random.random() < 0.5 or len(survivors) < 2:
+            return self.mutate(self.random.choice(survivors))
+        return self.crossover(*self.random.sample(survivors, 2))
+
     # -- fitness ----------------------------------------------------------------
     def fitness(self, benchmark: str, candidate: Candidate) -> float:
-        profile = candidate.to_profile(f"tuned-{self.evaluations}")
-        self.evaluations += 1
-        try:
-            measurement = self.runner.measure(benchmark, profile, use_cache=False)
-        except Exception:
-            return float("inf")
-        return float(measurement.metric(self.zkvm, "total_cycles"))
+        """Evaluate one candidate: its zkVM total cycle count (inf on failure)."""
+        self.evaluate_generation(benchmark, [candidate])
+        return candidate.fitness
+
+    def evaluate_generation(self, benchmark: str,
+                            candidates: list[Candidate]) -> None:
+        """Measure a generation's candidates as one batched shard.
+
+        The whole batch goes through ``runner.measure_pairs`` with
+        ``on_error="none"``: an engine shards it across workers, and a
+        candidate whose compilation or emulation fails (e.g. it blows the
+        instruction budget) gets infinite fitness instead of aborting the
+        search.  Fitness is written onto each candidate in place.
+        """
+        pairs = []
+        for candidate in candidates:
+            # Names are unique across every tuner in the process: name-keyed
+            # runner caches must never alias two different candidates (the
+            # engine's content-addressed cache still dedups equal ones).
+            pairs.append((benchmark,
+                          candidate.to_profile(f"tuned-{next(_CANDIDATE_IDS)}")))
+            self.evaluations += 1
+        measurements = self.runner.measure_pairs(pairs, on_error="none")
+        for candidate, measurement in zip(candidates, measurements):
+            if measurement is None:
+                candidate.fitness = float("inf")
+            else:
+                candidate.fitness = float(measurement.metric(self.zkvm, "total_cycles"))
 
     # -- search ---------------------------------------------------------------------
     def tune(self, benchmark: str, iterations: int = 40) -> AutotuneResult:
-        """Run the genetic search for ``iterations`` fitness evaluations."""
+        """Run the genetic search for (at most) ``iterations`` evaluations.
+
+        The initial population and every subsequent generation of children
+        are each evaluated as one batched shard (parallel under an engine;
+        see :meth:`evaluate_generation`).
+        """
         from ..experiments.profiles import baseline_profile, profile_by_name
 
         baseline = self.runner.measure(benchmark, baseline_profile())
@@ -152,26 +208,24 @@ class GeneticAutotuner:
                                   inline_threshold=325, unroll_threshold=300)
 
         history = []
-        evaluated = 0
-        for candidate in population:
-            candidate.fitness = self.fitness(benchmark, candidate)
-            evaluated += 1
-            if evaluated >= iterations:
-                break
+        # Always evaluate at least one candidate so a tiny/zero budget still
+        # yields a well-formed result (the -O3 seed).
+        population = population[: max(1, iterations)]
+        self.evaluate_generation(benchmark, population)
+        evaluated = len(population)
+        best = min(population, key=lambda c: c.fitness if c.fitness is not None else float("inf"))
+        history.append((evaluated, best.fitness))
 
         while evaluated < iterations:
             population.sort(key=lambda c: c.fitness if c.fitness is not None else float("inf"))
             survivors = population[: max(2, self.population_size // 3)]
-            child_source = self.random.random()
-            if child_source < 0.5:
-                child = self.mutate(self.random.choice(survivors))
-            else:
-                child = self.crossover(*self.random.sample(survivors, 2)) \
-                    if len(survivors) >= 2 else self.mutate(survivors[0])
-            child.fitness = self.fitness(benchmark, child)
-            evaluated += 1
-            population.append(child)
-            best = min(population, key=lambda c: c.fitness or float("inf"))
+            children = [self._breed(survivors)
+                        for _ in range(min(self.generation_size,
+                                           iterations - evaluated))]
+            self.evaluate_generation(benchmark, children)
+            evaluated += len(children)
+            population.extend(children)
+            best = min(population, key=lambda c: c.fitness if c.fitness is not None else float("inf"))
             history.append((evaluated, best.fitness))
 
         population.sort(key=lambda c: c.fitness if c.fitness is not None else float("inf"))

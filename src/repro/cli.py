@@ -1,0 +1,409 @@
+"""``python -m repro`` — the command-line face of the reproduction.
+
+Every subcommand drives the same
+:class:`~repro.experiments.engine.ExperimentEngine`, so measurements are
+sharded across worker processes on first use and answered from the
+content-addressed on-disk cache afterwards:
+
+* ``repro compile BENCH``  — show the RV32IM assembly (or ``--ir``) a profile
+  produces for a benchmark.
+* ``repro run BENCH``      — execute a benchmark on the emulator and print its
+  output checksum and dynamic instruction count.
+* ``repro measure BENCH..``— full metric table (cycles, zkVM execution/proving
+  time, native time) for benchmark × profile combinations.
+* ``repro figure N``       — regenerate paper figure N (3,4,5,6,7,8,9,14,15).
+* ``repro table N``        — regenerate paper table N (1,2,3,6).
+* ``repro autotune BENCH`` — run the genetic autotuner, generations batched.
+* ``repro list KIND``      — enumerate benchmarks/suites/profiles/figures/tables.
+
+Global flags (before the subcommand) select the worker count, the cache
+directory and the emulator's instruction budget.  ``--json`` on the reporting
+subcommands emits machine-readable output for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import inspect
+import json
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+# -- result rendering ---------------------------------------------------------
+def _jsonable(obj):
+    """Recursively convert regenerator output into JSON-serializable data.
+
+    Tuple dict keys (used by several regenerators, e.g. ``(zkvm, metric)``)
+    become ``"a/b"`` strings; dataclasses become dicts; sets become sorted
+    lists; non-finite floats become strings.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {_key(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_jsonable(v) for v in obj)
+    if isinstance(obj, float) and (obj != obj or obj in (float("inf"), float("-inf"))):
+        return str(obj)
+    return obj
+
+
+def _key(key) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _emit(result, as_json: bool) -> None:
+    """Print a regenerator result; sorted keys in human mode for stable diffs."""
+    json.dump(_jsonable(result), sys.stdout, indent=2, sort_keys=not as_json)
+    sys.stdout.write("\n")
+
+
+def _report_engine(engine) -> None:
+    """One stderr line showing where this invocation's measurements came from."""
+    stats = engine.stats
+    cache_dir = engine.cache.root if engine.cache is not None else "<disabled>"
+    print(f"[engine] computed={stats.computed} disk_hits={stats.disk_hits} "
+          f"memory_hits={stats.memory_hits} errors={stats.errors} "
+          f"workers={engine.workers} cache={cache_dir}", file=sys.stderr)
+
+
+class UsageError(Exception):
+    """Bad CLI input (unknown benchmark/profile/...): report cleanly, exit 2."""
+
+
+# -- engine / profile plumbing ------------------------------------------------
+def _make_engine(args):
+    from .experiments.engine import ExperimentEngine
+
+    return ExperimentEngine(
+        max_instructions=args.max_instructions,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_disk_cache=not args.no_disk_cache,
+    )
+
+
+def _resolve_profile(name: str):
+    from .experiments.profiles import profile_by_name, zkvm_aware_profile
+
+    try:
+        if name.endswith("-zkvm"):
+            return zkvm_aware_profile(name[: -len("-zkvm")])
+        return profile_by_name(name)
+    except KeyError as exc:
+        raise UsageError(f"unknown profile: {name}") from exc
+
+
+def _resolve_benchmarks(names: Sequence[str]) -> list[str]:
+    """Expand and validate benchmark arguments: names, suite names, or ``all``."""
+    from .benchmarks import all_benchmark_names, benchmarks_in_suite, suites
+
+    resolved: list[str] = []
+    for name in names:
+        if name == "all":
+            resolved.extend(all_benchmark_names())
+        elif name in suites():
+            resolved.extend(benchmarks_in_suite(name))
+        else:
+            _check_benchmark(name)
+            resolved.append(name)
+    return resolved
+
+
+def _check_benchmark(name: str) -> str:
+    from .benchmarks import get_benchmark
+
+    try:
+        get_benchmark(name)
+    except KeyError as exc:
+        raise UsageError(exc.args[0] if exc.args else str(exc)) from exc
+    return name
+
+
+# -- regenerator registry -----------------------------------------------------
+def _figure_registry() -> dict:
+    from .experiments import figures
+
+    return {
+        "3": figures.figure3_pass_impact,
+        "4": figures.figure4_effect_categories,
+        "5": figures.figure5_optimization_levels,
+        "6": figures.figure6_autotuning,
+        "7": figures.figure7_zkvm_vs_x86,
+        "8": figures.figure8_divergence,
+        "9": figures.figure9_cost_components,
+        "14": figures.figure14_zkvm_aware,
+        "15": figures.figure15_native_vs_zkvm,
+    }
+
+
+def _table_registry() -> dict:
+    from .experiments import tables
+
+    return {
+        "1": tables.table1_gain_loss_counts,
+        "2": tables.table2_correlations,
+        "3": tables.table3_manual_unrolling,
+        "6": tables.table6_baseline_statistics,
+    }
+
+
+def _call_regenerator(fn, runner, benchmarks, passes, **extra):
+    """Invoke a figure/table regenerator with only the kwargs it accepts.
+
+    The regenerators have slightly different signatures (figure 9 takes
+    ``profiles``, figure 6 takes ``iterations``/``seed``, table 3 takes
+    nothing); this adapter keeps one CLI for all of them.
+    """
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if "runner" in params:
+        kwargs["runner"] = runner
+    if benchmarks and "benchmarks" in params:
+        kwargs["benchmarks"] = benchmarks
+    if passes:
+        if "passes" in params:
+            kwargs["passes"] = passes
+        elif "profiles" in params:
+            kwargs["profiles"] = passes
+    for name, value in extra.items():
+        if name in params and value is not None:
+            kwargs[name] = value
+    return fn(**kwargs)
+
+
+# -- subcommands --------------------------------------------------------------
+def _cmd_compile(args) -> int:
+    from .ir.printer import format_module
+    from .passes import PassManager
+    from .ir import verify_module
+
+    engine = _make_engine(args)
+    _check_benchmark(args.benchmark)
+    profile = _resolve_profile(args.profile)
+    if args.ir:
+        module = engine.frontend_module(args.benchmark).clone()
+        if profile.passes:
+            PassManager(profile.passes, profile.config).run(module)
+        verify_module(module)
+        print(format_module(module))
+    else:
+        print(engine.compile(args.benchmark, profile))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    engine = _make_engine(args)
+    measurement = engine.measure(_check_benchmark(args.benchmark),
+                                 _resolve_profile(args.profile))
+    trace = measurement.trace
+    print(f"benchmark:     {measurement.benchmark}")
+    print(f"profile:       {measurement.profile}")
+    print(f"output:        {list(trace.output)}")
+    print(f"return value:  {trace.return_value}")
+    print(f"instructions:  {trace.instructions}")
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_measure(args) -> int:
+    from .analysis.reporting import format_table
+
+    engine = _make_engine(args)
+    benchmarks = _resolve_benchmarks(args.benchmarks)
+    profiles = [_resolve_profile(name) for name in (args.profile or ["baseline"])]
+    pairs = [(b, p) for b in benchmarks for p in profiles]
+    measurements = engine.measure_pairs(pairs)
+    if args.json:
+        _emit([m.as_dict() for m in measurements], as_json=True)
+    else:
+        rows = [[m.benchmark, m.profile, m.instructions,
+                 m.risc0.total_cycles, m.risc0.execution_time, m.risc0.proving_time,
+                 m.sp1.execution_time, m.sp1.proving_time, m.cpu.execution_time]
+                for m in measurements]
+        print(format_table(
+            ["benchmark", "profile", "instructions", "risc0 cycles",
+             "risc0 exec s", "risc0 prove s", "sp1 exec s", "sp1 prove s",
+             "native s"],
+            rows, title="Measurements"))
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    registry = _figure_registry()
+    if args.number not in registry:
+        print(f"unknown figure {args.number!r}; available: "
+              f"{', '.join(sorted(registry, key=int))}", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    benchmarks = _resolve_benchmarks(args.benchmarks) if args.benchmarks else None
+    result = _call_regenerator(registry[args.number], engine, benchmarks,
+                               args.passes, iterations=args.iterations,
+                               seed=args.seed)
+    _emit(result, as_json=args.json)
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_table(args) -> int:
+    registry = _table_registry()
+    if args.number not in registry:
+        print(f"unknown table {args.number!r}; available: "
+              f"{', '.join(sorted(registry, key=int))}", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
+    benchmarks = _resolve_benchmarks(args.benchmarks) if args.benchmarks else None
+    result = _call_regenerator(registry[args.number], engine, benchmarks,
+                               args.passes)
+    _emit(result, as_json=args.json)
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from .autotuner import GeneticAutotuner
+
+    engine = _make_engine(args)
+    tuner = GeneticAutotuner(runner=engine, seed=args.seed, zkvm=args.zkvm,
+                             population_size=args.population)
+    result = tuner.tune(_check_benchmark(args.benchmark),
+                        iterations=args.iterations)
+    summary = {
+        "benchmark": result.benchmark,
+        "zkvm": result.zkvm,
+        "evaluations": result.evaluations,
+        "baseline_cycles": result.baseline_cycles,
+        "o3_cycles": result.o3_cycles,
+        "best_cycles": result.best_cycles,
+        "speedup_over_o3": result.speedup_over_o3,
+        "gain_over_o3_percent": result.gain_over_o3_percent,
+        "best_passes": list(result.best.passes),
+        "inline_threshold": result.best.inline_threshold,
+        "unroll_threshold": result.best.unroll_threshold,
+    }
+    _emit(summary, as_json=args.json)
+    _report_engine(engine)
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from .benchmarks import all_benchmark_names, benchmarks_in_suite, suites
+    from .experiments.profiles import all_study_profiles, zkvm_aware_profile
+
+    kind = args.kind
+    if kind == "benchmarks":
+        for name in all_benchmark_names():
+            print(name)
+    elif kind == "suites":
+        for suite in suites():
+            print(f"{suite}: {len(benchmarks_in_suite(suite))} benchmarks")
+    elif kind == "profiles":
+        for profile in [*all_study_profiles(), zkvm_aware_profile()]:
+            print(profile.describe())
+    elif kind == "figures":
+        print(" ".join(sorted(_figure_registry(), key=int)))
+    elif kind == "tables":
+        print(" ".join(sorted(_table_registry(), key=int)))
+    return 0
+
+
+# -- argument parsing ---------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit: compile, emulate and measure zkVM "
+                    "benchmarks; regenerate the paper's figures and tables.")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for batched measurements "
+                             "(default: CPU count)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="measurement cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/measurements)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="keep measurements in memory only")
+    parser.add_argument("--max-instructions", type=int, default=20_000_000,
+                        help="emulator instruction budget per run")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="show a benchmark's compiled form")
+    p.add_argument("benchmark")
+    p.add_argument("--profile", default="baseline",
+                   help="optimization profile (default: baseline)")
+    p.add_argument("--ir", action="store_true",
+                   help="print optimized IR instead of RV32IM assembly")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("run", help="execute a benchmark on the emulator")
+    p.add_argument("benchmark")
+    p.add_argument("--profile", default="baseline")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("measure", help="measure benchmark × profile pairs")
+    p.add_argument("benchmarks", nargs="+",
+                   help="benchmark names, suite names, or 'all'")
+    p.add_argument("--profile", action="append",
+                   help="profile to measure (repeatable; default: baseline)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", help="3, 4, 5, 6, 7, 8, 9, 14 or 15")
+    p.add_argument("--benchmarks", nargs="+", default=None)
+    p.add_argument("--passes", nargs="+", default=None)
+    p.add_argument("--iterations", type=int, default=None,
+                   help="autotuner budget (figure 6 only)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="autotuner seed (figure 6 only)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", help="1, 2, 3 or 6")
+    p.add_argument("--benchmarks", nargs="+", default=None)
+    p.add_argument("--passes", nargs="+", default=None)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("autotune", help="genetic search over pass sequences")
+    p.add_argument("benchmark")
+    p.add_argument("--iterations", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--population", type=int, default=12)
+    p.add_argument("--zkvm", choices=["risc0", "sp1"], default="risc0")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_autotune)
+
+    p = sub.add_parser("list", help="enumerate available inputs")
+    p.add_argument("kind", choices=["benchmarks", "suites", "profiles",
+                                    "figures", "tables"])
+    p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also the ``repro`` console script)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except UsageError as exc:
+        # Bad input is reported cleanly; genuine crashes traceback normally.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output truncated by a downstream pager/head; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

@@ -1,0 +1,195 @@
+"""Content-addressed on-disk cache for benchmark measurements.
+
+A :class:`~repro.experiments.runner.Measurement` is a pure function of
+
+* the benchmark's source text (plus its declared args/inputs/expected output),
+* the optimization profile's pass list, :class:`~repro.passes.PassConfig`
+  knobs and backend :class:`~repro.backend.cost_model.TargetCostModel`, and
+* the analytic cost models (RISC Zero, SP1, the x86 CPU model) together with
+  the emulator's instruction budget.
+
+:func:`measurement_fingerprint` hashes exactly those ingredients, so the cache
+key is independent of the profile's *name*: an autotuner candidate that
+rediscovers the ``-O2`` pass list hits the cache entry the level sweep already
+paid for, while any change to a threshold, a model parameter or a benchmark
+source invalidates only the affected entries.
+
+Entries are pickled ``Measurement`` objects stored under
+``<root>/<2-hex-shard>/<sha256>.pkl``.  Writes are atomic (temp file +
+``os.replace``) so concurrent engines sharing one cache directory never
+observe torn entries; corrupt or unreadable entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from ..cpu import DEFAULT_CPU
+from ..zkvm.models import COST_MODEL_VERSION, ZKVMS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..benchmarks import Benchmark
+    from .profiles import Profile
+    from .runner import Measurement
+
+#: Bump when the on-disk entry format (or Measurement's shape) changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/measurements``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "measurements"
+
+
+@lru_cache(maxsize=1)
+def _environment_blob() -> str:
+    """Serialized cost-model environment (constant for a process lifetime)."""
+    return json.dumps({
+        "schema": CACHE_SCHEMA_VERSION,
+        "cost_model_version": COST_MODEL_VERSION,
+        "zkvms": {name: repr(model) for name, model in sorted(ZKVMS.items())},
+        "cpu": repr(DEFAULT_CPU),
+    }, sort_keys=True)
+
+
+@lru_cache(maxsize=None)
+def _benchmark_blob(benchmark: "Benchmark") -> str:
+    """Serialized benchmark identity (registry entries are immutable)."""
+    return json.dumps({
+        "source": benchmark.source,
+        "args": benchmark.args,
+        "inputs": benchmark.inputs,
+        "expected_output": benchmark.expected_output,
+    }, sort_keys=True)
+
+
+def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
+                            max_instructions: int, verify: bool = False) -> str:
+    """Content hash identifying one measurement.
+
+    Every ingredient that can change the resulting numbers is included;
+    the profile's display name deliberately is *not*, so identically
+    configured profiles share one entry.  The environment and benchmark
+    components are memoized — per call only the (small) profile recipe is
+    serialized — so cache probes stay cheap on regenerator hot paths.
+    """
+    profile_blob = json.dumps({
+        "passes": profile.passes,
+        "config": asdict(profile.config),
+        "cost_model": asdict(profile.cost_model),
+        "max_instructions": max_instructions,
+        "verify": verify,
+    }, sort_keys=True, default=repr)
+    blob = "\x1e".join([_environment_blob(), _benchmark_blob(benchmark),
+                        profile_blob])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`MeasurementCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+
+class MeasurementCache:
+    """Persistent measurement store shared by every engine on this machine.
+
+    ``get``/``put`` are keyed by :func:`measurement_fingerprint` digests.
+    The cache is safe to share between processes: entries are immutable once
+    written and writes are atomic renames.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- key -> path ---------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Where an entry with digest ``key`` lives (sharded by prefix)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    # -- lookup / store ------------------------------------------------------
+    def get(self, key: str) -> Optional["Measurement"]:
+        """The cached measurement for ``key``, or None on a miss.
+
+        Unreadable or corrupt entries count as misses (and are removed), so
+        a damaged cache degrades to recomputation instead of failing runs.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                measurement = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return measurement
+
+    def put(self, key: str, measurement: "Measurement") -> None:
+        """Persist ``measurement`` under ``key`` (atomic, last-writer-wins)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(measurement, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except Exception:
+            self.stats.errors += 1
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1
+
+    # -- maintenance ---------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "MeasurementCache",
+           "default_cache_dir", "measurement_fingerprint"]

@@ -1,0 +1,323 @@
+"""The experiment engine: parallel, disk-cached measurement batches.
+
+:class:`ExperimentEngine` is a drop-in :class:`BenchmarkRunner` that adds two
+things the serial runner lacks:
+
+* **Sharding** — :meth:`measure_pairs` fans a batch of (benchmark, profile)
+  jobs out across worker processes (``concurrent.futures``) and returns the
+  results in the order the jobs were submitted, so regenerated figures and
+  tables are bit-identical to a serial run regardless of worker count.
+* **Persistence** — every measurement is stored in a content-addressed
+  on-disk :class:`~repro.experiments.cache.MeasurementCache`, keyed by the
+  benchmark source hash, the profile/pass-config fingerprint and the
+  cost-model version.  Re-running a figure, table or autotuner generation
+  with unchanged inputs completes from the cache with zero re-emulations.
+
+The figure/table regenerators and the genetic autotuner all submit their work
+through ``measure_pairs`` (see :func:`repro.experiments.runner.warm_matrix`
+and :meth:`repro.autotuner.search.GeneticAutotuner.tune`), so pointing them at
+an engine instead of a plain runner parallelizes the whole study.  The
+``python -m repro`` CLI does exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from .cache import MeasurementCache, measurement_fingerprint
+from .profiles import Profile
+from .runner import BenchmarkRunner, Measurement
+
+#: Batches smaller than this run in-process: forking a pool costs more than it
+#: saves for one or two jobs.
+DEFAULT_PARALLEL_THRESHOLD = 2
+
+#: Per-process runner reuse inside pool workers, so one worker measuring many
+#: profiles of the same benchmark parses/compiles the frontend module once.
+_WORKER_RUNNERS: dict = {}
+
+
+def _compute_measurement_job(job) -> Measurement:
+    """Pool worker entry point: compute one measurement from scratch.
+
+    ``job`` is ``(benchmark_name, profile, max_instructions, verify)``.  Runs
+    in a separate process; the only state shared with the parent is the
+    picklable job tuple and the returned :class:`Measurement`.
+    """
+    benchmark_name, profile, max_instructions, verify = job
+    key = (max_instructions, verify)
+    runner = _WORKER_RUNNERS.get(key)
+    if runner is None:
+        runner = _WORKER_RUNNERS[key] = BenchmarkRunner(
+            max_instructions=max_instructions, verify=verify)
+    return runner.measure(benchmark_name, profile, use_cache=False)
+
+
+@dataclass
+class EngineStats:
+    """Where each measurement requested from an engine came from."""
+
+    #: Jobs answered from the in-process fingerprint cache.
+    memory_hits: int = 0
+    #: Jobs answered from the on-disk cache.
+    disk_hits: int = 0
+    #: Jobs that actually compiled + emulated a benchmark.
+    computed: int = 0
+    #: Jobs that raised and were reported as ``None`` (``on_error="none"``).
+    errors: int = 0
+    #: Number of batches that ran on a process pool.
+    parallel_batches: int = 0
+    #: Jobs executed on a process pool.
+    parallel_jobs: int = 0
+
+    def as_dict(self) -> dict:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "computed": self.computed, "errors": self.errors,
+                "parallel_batches": self.parallel_batches,
+                "parallel_jobs": self.parallel_jobs}
+
+
+class ExperimentEngine(BenchmarkRunner):
+    """A parallel, disk-cached :class:`BenchmarkRunner`.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count for batched jobs; defaults to ``os.cpu_count()``.
+        ``1`` disables the pool entirely (serial, still disk-cached).
+    cache_dir / use_disk_cache:
+        Where measurements persist; ``use_disk_cache=False`` keeps the engine
+        purely in-memory (e.g. for hermetic tests).
+    parallel_threshold:
+        Minimum number of *uncached* jobs in a batch before a pool is spun up.
+
+    Single ``measure()`` calls are answered from the caches or computed
+    in-process; only :meth:`measure_pairs` / :meth:`measure_many` shard work
+    across processes.  Results are relabeled to the requesting profile's name,
+    so content-equal profiles (say, an autotuner candidate that equals
+    ``-O2``) share cache entries without leaking each other's names.
+    """
+
+    def __init__(self, max_instructions: int = 20_000_000, verify: bool = False,
+                 workers: Optional[int] = None,
+                 cache: Optional[MeasurementCache] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 use_disk_cache: bool = True,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD):
+        super().__init__(max_instructions=max_instructions, verify=verify)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if cache is None and use_disk_cache:
+            cache = MeasurementCache(cache_dir)
+        self.cache = cache
+        self.parallel_threshold = max(1, parallel_threshold)
+        self.stats = EngineStats()
+        self._memory: dict[str, Measurement] = {}
+        self._pool = None
+        self._parallel_disabled = False
+
+    # -- cache plumbing ------------------------------------------------------
+    def fingerprint(self, benchmark_name: str, profile: Profile) -> str:
+        """The content hash this engine uses for one (benchmark, profile) job."""
+        from ..benchmarks import get_benchmark
+
+        return measurement_fingerprint(get_benchmark(benchmark_name), profile,
+                                       self.max_instructions, self.verify)
+
+    def _lookup(self, key: str) -> Optional[Measurement]:
+        """Memory-then-disk cache probe; promotes disk hits into memory."""
+        measurement = self._memory.get(key)
+        if measurement is not None:
+            self.stats.memory_hits += 1
+            return measurement
+        if self.cache is not None:
+            measurement = self.cache.get(key)
+            if measurement is not None:
+                self.stats.disk_hits += 1
+                self._memory[key] = measurement
+                return measurement
+        return None
+
+    def _store(self, key: str, measurement: Measurement) -> None:
+        self._memory[key] = measurement
+        if self.cache is not None:
+            self.cache.put(key, measurement)
+
+    @staticmethod
+    def _relabel(measurement: Measurement, benchmark_name: str,
+                 profile: Profile) -> Measurement:
+        """Return ``measurement`` under the requested display names."""
+        if (measurement.benchmark == benchmark_name
+                and measurement.profile == profile.name):
+            return measurement
+        return replace(measurement, benchmark=benchmark_name, profile=profile.name)
+
+    def reset_stats(self) -> None:
+        self.stats = EngineStats()
+
+    def clear_disk_cache(self) -> int:
+        """Drop every persisted measurement; returns the entry count removed."""
+        return self.cache.clear() if self.cache is not None else 0
+
+    # -- measurement ---------------------------------------------------------
+    def measure(self, benchmark_name: str, profile: Profile,
+                use_cache: bool = True) -> Measurement:
+        """Measure one pair, consulting the memory and disk caches first.
+
+        ``use_cache=False`` forces a fresh computation and does not store the
+        result (matching :meth:`BenchmarkRunner.measure` semantics).
+        """
+        key = self.fingerprint(benchmark_name, profile)
+        if use_cache:
+            cached = self._lookup(key)
+            if cached is not None:
+                return self._relabel(cached, benchmark_name, profile)
+        measurement = super().measure(benchmark_name, profile, use_cache=False)
+        self.stats.computed += 1
+        if use_cache:
+            self._store(key, measurement)
+        return measurement
+
+    def measure_pairs(self, pairs: Sequence[tuple[str, Profile]],
+                      use_cache: bool = True,
+                      on_error: str = "raise") -> list[Optional[Measurement]]:
+        """Measure a batch of (benchmark, profile) jobs, sharded across workers.
+
+        Cached jobs are answered immediately; the remaining *unique*
+        fingerprints are computed — in parallel when the batch is large enough
+        and ``workers > 1`` — then persisted.  The returned list is aligned
+        with ``pairs`` (deterministic ordering, independent of scheduling).
+
+        ``on_error="none"`` maps a failing job (e.g. an autotuner candidate
+        that exceeds the instruction budget) to ``None`` instead of raising.
+        """
+        results: list[Optional[Measurement]] = [None] * len(pairs)
+        pending: dict[str, list[int]] = {}
+        for index, (benchmark_name, profile) in enumerate(pairs):
+            key = self.fingerprint(benchmark_name, profile)
+            if use_cache:
+                cached = self._lookup(key)
+                if cached is not None:
+                    results[index] = self._relabel(cached, benchmark_name, profile)
+                    continue
+            pending.setdefault(key, []).append(index)
+
+        if pending:
+            keys = list(pending)
+            jobs = [(pairs[pending[key][0]][0], pairs[pending[key][0]][1],
+                     self.max_instructions, self.verify) for key in keys]
+            for key, outcome in zip(keys, self._compute_batch(jobs)):
+                if isinstance(outcome, Exception):
+                    self.stats.errors += 1
+                    if on_error != "none":
+                        raise outcome
+                    continue
+                self.stats.computed += 1
+                if use_cache:
+                    self._store(key, outcome)
+                for index in pending[key]:
+                    benchmark_name, profile = pairs[index]
+                    results[index] = self._relabel(outcome, benchmark_name, profile)
+        return results
+
+    def measure_many(self, benchmark_names: list[str],
+                     profiles: list[Profile]) -> list[Measurement]:
+        """Measure the benchmark × profile cross product as one batched shard."""
+        pairs = [(benchmark_name, profile)
+                 for benchmark_name in benchmark_names for profile in profiles]
+        return self.measure_pairs(pairs)
+
+    # -- execution backends --------------------------------------------------
+    def _compute_batch(self, jobs: list) -> list:
+        """Run jobs, returning a Measurement or Exception per job, in order."""
+        if (self.workers > 1 and not self._parallel_disabled
+                and len(jobs) >= self.parallel_threshold):
+            try:
+                return self._compute_parallel(jobs)
+            except RuntimeError:
+                # The pool died mid-batch (worker killed, ...): recompute this
+                # batch serially; a later batch may recreate a fresh pool.
+                pass
+            except (ImportError, OSError):
+                # No usable multiprocessing primitives here (restricted
+                # sandbox, broken fork, ...): degrade to in-process execution
+                # and stop re-trying pool creation on later batches.
+                self._parallel_disabled = True
+        return self._compute_serial(jobs)
+
+    def _compute_serial(self, jobs: list) -> list:
+        outcomes = []
+        for job in jobs:
+            benchmark_name, profile, _, _ = job
+            try:
+                outcomes.append(
+                    super().measure(benchmark_name, profile, use_cache=False))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def _ensure_pool(self):
+        """The engine's long-lived worker pool (created on first parallel batch).
+
+        Keeping one pool alive across batches lets ``_WORKER_RUNNERS`` persist
+        in the workers, so e.g. consecutive autotuner generations reuse each
+        worker's parsed frontend modules instead of paying pool startup and
+        re-compilation per generation.
+        """
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool; the engine stays usable, serially.
+
+        Later batches will not respawn workers — reset ``_parallel_disabled``
+        (or build a new engine) to re-enable parallelism.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._parallel_disabled = True
+
+    def __del__(self):  # best effort; interpreter exit reaps workers anyway
+        try:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass
+
+    def _compute_parallel(self, jobs: list) -> list:
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(_compute_measurement_job, job) for job in jobs]
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result())
+            except BrokenProcessPool:
+                self._pool = None  # unusable; a later batch may recreate it
+                raise RuntimeError("process pool died; falling back to serial")
+            except Exception as exc:
+                outcomes.append(exc)
+        self.stats.parallel_batches += 1
+        self.stats.parallel_jobs += len(jobs)
+        return outcomes
+
+
+_DEFAULT_ENGINE: Optional[ExperimentEngine] = None
+
+
+def default_engine() -> ExperimentEngine:
+    """A process-wide shared engine with the default on-disk cache."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = ExperimentEngine()
+    return _DEFAULT_ENGINE
+
+
+__all__ = ["DEFAULT_PARALLEL_THRESHOLD", "EngineStats", "ExperimentEngine",
+           "default_engine"]

@@ -5,6 +5,15 @@ corresponding figure, so the pytest-benchmark targets and EXPERIMENTS.md can
 print them.  All regenerators take ``benchmarks``/``passes`` subsets and reuse
 one :class:`BenchmarkRunner`, so small slices run quickly and the full matrix
 is just "pass all names".
+
+Every regenerator first submits its full (benchmark, profile) matrix as one
+batch through the runner's ``measure_pairs`` API
+(:func:`~repro.experiments.runner.warm_matrix`).  With
+a plain :class:`BenchmarkRunner` that is a serial warm-up; with an
+:class:`~repro.experiments.engine.ExperimentEngine` the batch is sharded
+across worker processes and persisted to the on-disk measurement cache, so
+first runs parallelize and repeat runs recompute nothing.  ``python -m repro
+figure N`` wires an engine in for exactly this reason.
 """
 
 from __future__ import annotations
@@ -14,10 +23,10 @@ from typing import Optional, Sequence
 from ..analysis.stats import mean
 from ..benchmarks import all_benchmark_names, benchmarks_in_suite
 from .profiles import (
-    Profile, baseline_profile, individual_pass_profiles, level_profiles,
-    profile_by_name, zkvm_aware_profile,
+    Profile, baseline_profile, level_profiles, pass_profiles, profile_by_name,
+    zkvm_aware_profile,
 )
-from .runner import BenchmarkRunner, percent_change
+from .runner import BenchmarkRunner, percent_change, warm_matrix
 
 #: Small-but-representative default slices so every regenerator runs in seconds.
 DEFAULT_BENCHMARKS = [
@@ -32,12 +41,6 @@ DEFAULT_PASSES = [
 ]
 
 
-def _pass_profiles(passes: Optional[Sequence[str]]) -> list[Profile]:
-    if passes is None:
-        return individual_pass_profiles()
-    return [Profile(name=p, passes=(p,), kind="pass") for p in passes]
-
-
 def figure3_pass_impact(runner: Optional[BenchmarkRunner] = None,
                         benchmarks: Optional[Sequence[str]] = None,
                         passes: Optional[Sequence[str]] = None,
@@ -46,7 +49,8 @@ def figure3_pass_impact(runner: Optional[BenchmarkRunner] = None,
     proving time and cycle count, per zkVM, relative to the baseline."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = _pass_profiles(passes)
+    profiles = pass_profiles(passes)
+    warm_matrix(runner, benchmarks, profiles)
     metrics = {"execution_time": "execution time", "proving_time": "proving time",
                "total_cycles": "cycle count"}
     results: dict = {"risc0": {}, "sp1": {}}
@@ -73,7 +77,8 @@ def figure4_effect_categories(runner: Optional[BenchmarkRunner] = None,
     gains/losses in execution and proving time."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = _pass_profiles(passes)
+    profiles = pass_profiles(passes)
+    warm_matrix(runner, benchmarks, profiles)
     buckets = {"severe_loss": lambda g: g <= -5.0,
                "moderate_loss": lambda g: -5.0 < g <= -2.0,
                "moderate_gain": lambda g: 2.0 <= g < 5.0,
@@ -99,6 +104,7 @@ def figure5_optimization_levels(runner: Optional[BenchmarkRunner] = None,
     """Figure 5: impact of -O0..-Os on execution and proving time, per zkVM."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
+    warm_matrix(runner, benchmarks, level_profiles())
     results: dict = {}
     for profile in level_profiles():
         row = {}
@@ -119,6 +125,8 @@ def figure6_autotuning(benchmarks: Optional[Sequence[str]] = None,
     runner = runner or BenchmarkRunner()
     if benchmarks is None:
         benchmarks = benchmarks_in_suite("npb")[:2] + benchmarks_in_suite("crypto")[:2]
+    # The tuner's reference points; each generation then batches its own shard.
+    warm_matrix(runner, benchmarks, [profile_by_name("-O3")])
     results = {}
     for zkvm in ("risc0", "sp1"):
         tuner = GeneticAutotuner(runner=runner, seed=seed, zkvm=zkvm)
@@ -139,7 +147,8 @@ def figure7_zkvm_vs_x86(runner: Optional[BenchmarkRunner] = None,
     proving, and x86 execution time."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = [*level_profiles(), *_pass_profiles(passes or DEFAULT_PASSES)]
+    profiles = [*level_profiles(), *pass_profiles(passes or DEFAULT_PASSES)]
+    warm_matrix(runner, benchmarks, profiles)
     results = {}
     for profile in profiles:
         zkvm_exec = mean([mean([runner.gain(b, profile, z, "execution_time")
@@ -161,7 +170,8 @@ def figure8_divergence(runner: Optional[BenchmarkRunner] = None,
     zkVM (gains on one, losses on the other, or much larger gains on one)."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = _pass_profiles(passes or DEFAULT_PASSES)
+    profiles = pass_profiles(passes or DEFAULT_PASSES)
+    warm_matrix(runner, benchmarks, profiles)
     results = {}
     for profile in profiles:
         counts = {"zkvm_up_x86_down": 0, "zkvm_gain_larger": 0,
@@ -191,6 +201,7 @@ def figure9_cost_components(runner: Optional[BenchmarkRunner] = None,
                                      "npb-lu", "polybench-trmm", "tailcall"])
     profile_names = list(profiles or ["inline", "always-inline", "loop-extract",
                                       "licm", "-O3", "-O0"])
+    warm_matrix(runner, benchmarks, [profile_by_name(n) for n in profile_names])
     results = {}
     for name in profile_names:
         profile = profile_by_name(name)
@@ -221,6 +232,7 @@ def figure14_zkvm_aware(runner: Optional[BenchmarkRunner] = None,
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     vanilla = profile_by_name("-O3")
     modified = zkvm_aware_profile("-O3")
+    warm_matrix(runner, benchmarks, [vanilla, modified], include_baseline=False)
     results = {}
     for benchmark in benchmarks:
         row = {}
@@ -243,6 +255,7 @@ def figure15_native_vs_zkvm(runner: Optional[BenchmarkRunner] = None,
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or benchmarks_in_suite("npb"))
     base = baseline_profile()
+    warm_matrix(runner, benchmarks, [], include_baseline=True)
     results = {}
     for benchmark in benchmarks:
         m = runner.measure(benchmark, base)

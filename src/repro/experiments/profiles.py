@@ -42,6 +42,16 @@ def individual_pass_profiles() -> list[Profile]:
             for name in available_passes()]
 
 
+def pass_profiles(passes=None) -> list[Profile]:
+    """Single-pass profiles for the given pass names (all passes if None).
+
+    The subset-selection helper shared by the figure/table regenerators.
+    """
+    if passes is None:
+        return individual_pass_profiles()
+    return [Profile(name=p, passes=(p,), kind="pass") for p in passes]
+
+
 def level_profiles() -> list[Profile]:
     """The preset optimization levels -O0 ... -Oz."""
     profiles = []
@@ -77,6 +87,7 @@ def all_study_profiles() -> list[Profile]:
 
 
 def profile_by_name(name: str) -> Profile:
+    """Look up any study profile (baseline, a pass, a level, or ``-O3-zkvm``)."""
     for profile in [*all_study_profiles(), zkvm_aware_profile()]:
         if profile.name == name:
             return profile

@@ -1,6 +1,13 @@
 """The measurement harness: compile a benchmark under a profile, execute it,
 and evaluate every metric the paper reports (cycle count, zkVM execution
-time, proving time for both zkVMs; native execution time on the CPU model)."""
+time, proving time for both zkVMs; native execution time on the CPU model).
+
+:class:`BenchmarkRunner` is the serial, in-memory-cached reference
+implementation.  The figure/table regenerators and the autotuner submit work
+through its batch API (:meth:`BenchmarkRunner.measure_pairs`), which the
+parallel, disk-cached :class:`~repro.experiments.engine.ExperimentEngine`
+subclass overrides to shard jobs across worker processes — substitute an
+engine anywhere a runner is accepted to parallelize and persist a study."""
 
 from __future__ import annotations
 
@@ -36,10 +43,12 @@ class Measurement:
         return self.trace.instructions
 
     def metric(self, zkvm: str, name: str) -> float:
+        """One zkVM metric by name, e.g. ``metric("risc0", "proving_time")``."""
         source = {"risc0": self.risc0, "sp1": self.sp1}[zkvm]
         return getattr(source, name)
 
     def as_dict(self) -> dict:
+        """JSON-shaped summary (used by the CLI and cache round-trip tests)."""
         return {
             "benchmark": self.benchmark,
             "profile": self.profile,
@@ -55,6 +64,23 @@ def percent_change(baseline: float, value: float) -> float:
     if baseline == 0:
         return 0.0
     return (baseline - value) / baseline * 100.0
+
+
+def warm_matrix(runner: "BenchmarkRunner", benchmarks: list[str],
+                profiles: list[Profile], include_baseline: bool = True) -> None:
+    """Submit a full benchmark × profile matrix as one batched shard.
+
+    Every figure/table regenerator calls this before assembling rows: an
+    :class:`~repro.experiments.engine.ExperimentEngine` computes the batch in
+    parallel and persists it, after which the per-cell ``measure``/``gain``
+    calls are pure cache lookups.  The baseline profile is included by default
+    because every gain is computed against it.
+    """
+    profiles = list(profiles)
+    if include_baseline:
+        profiles.insert(0, baseline_profile())
+    runner.measure_pairs([(benchmark, profile)
+                          for benchmark in benchmarks for profile in profiles])
 
 
 class BenchmarkRunner:
@@ -93,6 +119,13 @@ class BenchmarkRunner:
     # -- measurement ----------------------------------------------------------
     def measure(self, benchmark_name: str, profile: Profile,
                 use_cache: bool = True) -> Measurement:
+        """Compile, emulate and cost one (benchmark, profile) pair.
+
+        Results are memoized per (benchmark, profile *name*) for the lifetime
+        of this runner; ``use_cache=False`` forces a fresh computation and
+        skips storing it.  The engine subclass replaces this name-keyed
+        memoization with content-addressed memory + disk caches.
+        """
         key = (benchmark_name, profile.name)
         if use_cache and key in self._measure_cache:
             return self._measure_cache[key]
@@ -128,15 +161,38 @@ class BenchmarkRunner:
             self._measure_cache[key] = measurement
         return measurement
 
-    def measure_many(self, benchmark_names: list[str],
-                     profiles: list[Profile]) -> list[Measurement]:
-        results = []
-        for benchmark_name in benchmark_names:
-            for profile in profiles:
-                results.append(self.measure(benchmark_name, profile))
+    def measure_pairs(self, pairs: list[tuple[str, Profile]],
+                      use_cache: bool = True,
+                      on_error: str = "raise") -> list[Optional[Measurement]]:
+        """Measure a batch of (benchmark, profile) jobs in submission order.
+
+        This is the batch entry point the regenerators and the autotuner use;
+        here it simply loops, while :class:`ExperimentEngine` overrides it to
+        shard the batch across worker processes and an on-disk cache with the
+        same deterministic result ordering.  With ``on_error="none"`` a
+        failing job yields ``None`` instead of propagating (used by the
+        autotuner, whose candidates may exceed the instruction budget).
+        """
+        results: list[Optional[Measurement]] = []
+        for benchmark_name, profile in pairs:
+            try:
+                results.append(self.measure(benchmark_name, profile,
+                                            use_cache=use_cache))
+            except Exception:
+                if on_error != "none":
+                    raise
+                results.append(None)
         return results
 
+    def measure_many(self, benchmark_names: list[str],
+                     profiles: list[Profile]) -> list[Measurement]:
+        """Measure the benchmark × profile cross product (benchmark-major)."""
+        return self.measure_pairs([(benchmark_name, profile)
+                                   for benchmark_name in benchmark_names
+                                   for profile in profiles])
+
     def baseline(self, benchmark_name: str) -> Measurement:
+        """The unoptimized reference measurement every gain is computed against."""
         return self.measure(benchmark_name, baseline_profile())
 
     # -- derived quantities ------------------------------------------------------
@@ -148,6 +204,7 @@ class BenchmarkRunner:
         return percent_change(base.metric(zkvm, metric), value.metric(zkvm, metric))
 
     def cpu_gain(self, benchmark_name: str, profile: Profile) -> float:
+        """Percent improvement over baseline on the x86 CPU timing model."""
         base = self.baseline(benchmark_name)
         value = self.measure(benchmark_name, profile)
         return percent_change(base.cpu.execution_time, value.cpu.execution_time)

@@ -1,5 +1,13 @@
 """Regenerators for the paper's tables (Table 1, 2, 3, 6) and the Section 5.2
-case studies."""
+case studies.
+
+Like the figure regenerators, every table that sweeps the benchmark × profile
+matrix first submits the whole matrix as one batch through the runner's
+``measure_pairs`` API (:func:`~repro.experiments.runner.warm_matrix`), so an
+:class:`~repro.experiments.engine.ExperimentEngine` computes it in parallel
+and serves repeat runs from the on-disk measurement cache.  Table 3 and the
+case studies compile ad-hoc sources and bypass the runner entirely.
+"""
 
 from __future__ import annotations
 
@@ -10,9 +18,9 @@ from ..analysis.stats import kendall_tau, mean, pearson_r
 from ..frontend import compile_source
 from ..backend import compile_module
 from ..emulator import run_program
-from .figures import DEFAULT_BENCHMARKS, DEFAULT_PASSES, _pass_profiles
-from .profiles import baseline_profile, profile_by_name
-from .runner import BenchmarkRunner, percent_change
+from .figures import DEFAULT_BENCHMARKS, DEFAULT_PASSES
+from .profiles import baseline_profile, pass_profiles, profile_by_name
+from .runner import BenchmarkRunner, percent_change, warm_matrix
 
 
 def table1_gain_loss_counts(runner: Optional[BenchmarkRunner] = None,
@@ -23,7 +31,8 @@ def table1_gain_loss_counts(runner: Optional[BenchmarkRunner] = None,
     losses < -2% in execution and proving time, per zkVM."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = _pass_profiles(passes or DEFAULT_PASSES)
+    profiles = pass_profiles(passes or DEFAULT_PASSES)
+    warm_matrix(runner, benchmarks, profiles)
     rows = {}
     for zkvm in ("risc0", "sp1"):
         counts = {"execution_gain": 0, "execution_loss": 0,
@@ -52,7 +61,8 @@ def table2_correlations(runner: Optional[BenchmarkRunner] = None,
     (execution time, proving time), averaged over benchmarks."""
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
-    profiles = [baseline_profile(), *_pass_profiles(passes or DEFAULT_PASSES)]
+    profiles = [baseline_profile(), *pass_profiles(passes or DEFAULT_PASSES)]
+    warm_matrix(runner, benchmarks, profiles, include_baseline=False)
 
     pairs = [
         ("execution_time", "instructions"),
@@ -177,6 +187,7 @@ def table6_baseline_statistics(runner: Optional[BenchmarkRunner] = None,
     runner = runner or BenchmarkRunner()
     benchmarks = list(benchmarks or DEFAULT_BENCHMARKS)
     base = baseline_profile()
+    warm_matrix(runner, benchmarks, [], include_baseline=True)
     results = {}
     for zkvm in ("risc0", "sp1"):
         for metric in ("execution_time", "proving_time"):

@@ -159,3 +159,9 @@ SP1 = ZkvmModel(
 )
 
 ZKVMS: dict[str, ZkvmModel] = {"risc0": RISC_ZERO, "sp1": SP1}
+
+#: Version of the analytic cost-model *formulas* above.  Parameter values are
+#: fingerprinted directly by the experiment cache; bump this when the shape of
+#: ``cycles_for_trace``/``evaluate`` changes so stale cached measurements are
+#: invalidated (see :mod:`repro.experiments.cache`).
+COST_MODEL_VERSION = 1
