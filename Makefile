@@ -1,15 +1,18 @@
 # CI-friendly entry points for the reproduction.
 #
-#   make test           tier-1 test suite (the driver's gate)
-#   make test-engine    engine/cache/CLI tests only
-#   make figures-smoke  regenerate a figure + table on a tiny slice via the CLI
-#   make bench-engine   serial vs parallel vs warm-cache wall-time report
-#   make bench          full pytest-benchmark harness (slow)
+#   make test            tier-1 test suite (the driver's gate)
+#   make test-engine     engine/cache/CLI tests only
+#   make figures-smoke   regenerate a figure + table on a tiny slice via the CLI
+#   make bench-engine    serial vs parallel vs warm-cache wall-time report
+#   make bench-emulator  fast vs reference interpreter Minstr/s; writes
+#                        BENCH_emulator.json (perf trajectory across PRs)
+#   make bench           full pytest-benchmark harness (slow)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-engine figures-smoke bench-engine bench clean-cache
+.PHONY: test test-engine figures-smoke bench-engine bench-emulator bench \
+	clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +29,10 @@ figures-smoke:
 
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py
+
+# Fails if the pre-decoded fast path drops below 3x the seed interpreter.
+bench-emulator:
+	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

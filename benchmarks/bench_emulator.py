@@ -1,0 +1,157 @@
+"""Emulator throughput report: pre-decoded fast path vs seed interpreter.
+
+Replays the full seed benchmark suite (baseline profile) three ways and
+reports Minstr/s per benchmark plus the aggregate:
+
+* ``reference`` — the seed per-instruction interpreter
+  (:class:`~repro.emulator.reference.ReferenceMachine`);
+* ``fast cold`` — the production :class:`~repro.emulator.machine.Machine` on a
+  freshly compiled program (timing includes the one-off decode);
+* ``fast warm`` — a second replay of the same program, decoded stream cached.
+
+The acceptance bar for the decode-once pipeline is an aggregate fast/reference
+speedup of at least 3x.  ``make bench-emulator`` writes ``BENCH_emulator.json``
+so the throughput trajectory is tracked across PRs.
+
+Runs standalone (``python benchmarks/bench_emulator.py [--json PATH]``) and as
+a pytest target under the bench harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: The fast path must beat the seed interpreter by at least this factor.
+REQUIRED_SPEEDUP = 3.0
+
+
+def _compile(name: str):
+    from repro.backend import compile_module
+    from repro.benchmarks import get_benchmark
+    from repro.frontend import compile_source
+
+    return compile_module(compile_source(get_benchmark(name).source,
+                                         module_name=name))
+
+
+def run_report(benchmarks=None, echo=print) -> dict:
+    """Measure every benchmark on both interpreters; returns the report dict."""
+    from repro.analysis.reporting import format_table
+    from repro.benchmarks import all_benchmark_names, get_benchmark
+    from repro.emulator import Machine, ReferenceMachine
+
+    names = benchmarks or all_benchmark_names()
+    rows = []
+    per_benchmark = {}
+    totals = {"instructions": 0, "reference_s": 0.0, "cold_s": 0.0,
+              "warm_s": 0.0}
+    for name in names:
+        benchmark = get_benchmark(name)
+        program = _compile(name)
+        args = benchmark.args
+
+        start = time.perf_counter()
+        ref = ReferenceMachine(program, input_values=benchmark.inputs)
+        ref_stats = ref.run("main", args)
+        reference_s = time.perf_counter() - start
+
+        # Cold: decode happens inside Machine construction on a fresh program.
+        if hasattr(program, "_decoded_cache"):
+            del program._decoded_cache
+        start = time.perf_counter()
+        fast = Machine(program, input_values=benchmark.inputs)
+        fast_stats = fast.run("main", args)
+        cold_s = time.perf_counter() - start
+
+        # Warm: same program object, decoded stream already cached.
+        start = time.perf_counter()
+        warm_stats = Machine(program, input_values=benchmark.inputs).run(
+            "main", args)
+        warm_s = time.perf_counter() - start
+
+        assert fast_stats == ref_stats, f"fast path diverged on {name}"
+        assert warm_stats == ref_stats, f"warm fast path diverged on {name}"
+
+        instructions = ref_stats.instructions
+        per_benchmark[name] = {
+            "instructions": instructions,
+            "reference_minstr_s": instructions / reference_s / 1e6,
+            "fast_cold_minstr_s": instructions / cold_s / 1e6,
+            "fast_warm_minstr_s": instructions / warm_s / 1e6,
+            "speedup_cold": reference_s / cold_s,
+            "speedup_warm": reference_s / warm_s,
+        }
+        totals["instructions"] += instructions
+        totals["reference_s"] += reference_s
+        totals["cold_s"] += cold_s
+        totals["warm_s"] += warm_s
+
+    top = sorted(per_benchmark.items(),
+                 key=lambda item: -item[1]["instructions"])[:12]
+    for name, data in top:
+        rows.append([name, data["instructions"],
+                     round(data["reference_minstr_s"], 2),
+                     round(data["fast_cold_minstr_s"], 2),
+                     round(data["fast_warm_minstr_s"], 2),
+                     round(data["speedup_warm"], 2)])
+
+    aggregate = {
+        "benchmarks": len(names),
+        "instructions": totals["instructions"],
+        "reference_minstr_s": totals["instructions"] / totals["reference_s"] / 1e6,
+        "fast_cold_minstr_s": totals["instructions"] / totals["cold_s"] / 1e6,
+        "fast_warm_minstr_s": totals["instructions"] / totals["warm_s"] / 1e6,
+        "speedup_cold": totals["reference_s"] / totals["cold_s"],
+        "speedup_warm": totals["reference_s"] / totals["warm_s"],
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+
+    echo(format_table(
+        ["benchmark", "instrs", "ref Mi/s", "cold Mi/s", "warm Mi/s",
+         "speedup"],
+        rows, title=f"Emulator throughput (top {len(rows)} of {len(names)} "
+                    "benchmarks by dynamic instructions)"))
+    echo(f"aggregate: reference {aggregate['reference_minstr_s']:.2f} Minstr/s"
+         f" | fast cold {aggregate['fast_cold_minstr_s']:.2f}"
+         f" | fast warm {aggregate['fast_warm_minstr_s']:.2f}"
+         f" | speedup {aggregate['speedup_cold']:.2f}x cold /"
+         f" {aggregate['speedup_warm']:.2f}x warm"
+         f" (required: {REQUIRED_SPEEDUP:.1f}x)")
+    return {"aggregate": aggregate, "per_benchmark": per_benchmark}
+
+
+def test_emulator_throughput():
+    """Bench-harness entry: the decode-once fast path must hold its 3x bar."""
+    report = run_report()
+    assert report["aggregate"]["speedup_cold"] >= REQUIRED_SPEEDUP
+    assert report["aggregate"]["speedup_warm"] >= REQUIRED_SPEEDUP
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the full report as JSON to PATH")
+    parser.add_argument("--benchmarks", nargs="+",
+                        help="subset of benchmark names (default: all)")
+    args = parser.parse_args(argv)
+    report = run_report(benchmarks=args.benchmarks)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"wrote {args.json}")
+    ok = report["aggregate"]["speedup_cold"] >= REQUIRED_SPEEDUP
+    if not ok:
+        print(f"FAIL: aggregate cold speedup "
+              f"{report['aggregate']['speedup_cold']:.2f}x is below the "
+              f"{REQUIRED_SPEEDUP:.1f}x bar", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -126,6 +126,14 @@ class AssemblyProgram:
     def total_static_instructions(self) -> int:
         return sum(len(f.instructions()) for f in self.functions.values())
 
+    def __getstate__(self) -> dict:
+        # The emulator caches its decoded instruction stream on the program
+        # (see repro.emulator.decoder.decode_program); the stream holds bound
+        # callables, so drop it from pickles — it is re-decoded on demand.
+        state = self.__dict__.copy()
+        state.pop("_decoded_cache", None)
+        return state
+
     def __str__(self) -> str:
         parts = [f"# data end: {hex(self.data_end)}"]
         for name, addr in self.globals_layout.items():
@@ -134,22 +142,22 @@ class AssemblyProgram:
         return "\n\n".join(parts)
 
 
+#: Precomputed opcode -> class table.  The emulator's decoder and the cost
+#: models share this so classification is a single dict probe instead of a
+#: linear membership chain.
+OPCODE_CLASS: dict[str, str] = {}
+for _ops, _cls in ((ALU_OPS, "alu"), (MUL_OPS, "mul"), (DIV_OPS, "div"),
+                   (LOAD_OPS, "load"), (STORE_OPS, "store"),
+                   (BRANCH_OPS, "branch"), (JUMP_OPS, "jump"),
+                   (SYSTEM_OPS, "system")):
+    for _op in _ops:
+        OPCODE_CLASS[_op] = _cls
+del _ops, _cls, _op
+
+
 def classify(opcode: str) -> str:
     """Coarse instruction class used by the cost models."""
-    if opcode in ALU_OPS:
-        return "alu"
-    if opcode in MUL_OPS:
-        return "mul"
-    if opcode in DIV_OPS:
-        return "div"
-    if opcode in LOAD_OPS:
-        return "load"
-    if opcode in STORE_OPS:
-        return "store"
-    if opcode in BRANCH_OPS:
-        return "branch"
-    if opcode in JUMP_OPS:
-        return "jump"
-    if opcode in SYSTEM_OPS:
-        return "system"
-    raise ValueError(f"unknown opcode: {opcode}")
+    try:
+        return OPCODE_CLASS[opcode]
+    except KeyError:
+        raise ValueError(f"unknown opcode: {opcode}") from None

@@ -203,8 +203,27 @@ def _cmd_compile(args) -> int:
 
 def _cmd_run(args) -> int:
     engine = _make_engine(args)
-    measurement = engine.measure(_check_benchmark(args.benchmark),
-                                 _resolve_profile(args.profile))
+    benchmark_name = _check_benchmark(args.benchmark)
+    profile = _resolve_profile(args.profile)
+    if getattr(args, "reference", False):
+        # Replay on the seed interpreter (the differential-testing oracle);
+        # bypasses the measurement caches since nothing is persisted.
+        from .benchmarks import get_benchmark
+        from .emulator import ReferenceMachine
+
+        benchmark = get_benchmark(benchmark_name)
+        program = engine.compile(benchmark_name, profile)
+        machine = ReferenceMachine(program,
+                                   max_instructions=engine.max_instructions,
+                                   input_values=benchmark.inputs)
+        trace = machine.run("main", benchmark.args)
+        print(f"benchmark:     {benchmark_name} [reference interpreter]")
+        print(f"profile:       {profile.name}")
+        print(f"output:        {list(trace.output)}")
+        print(f"return value:  {trace.return_value}")
+        print(f"instructions:  {trace.instructions}")
+        return 0
+    measurement = engine.measure(benchmark_name, profile)
     trace = measurement.trace
     print(f"benchmark:     {measurement.benchmark}")
     print(f"profile:       {measurement.profile}")
@@ -346,6 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="execute a benchmark on the emulator")
     p.add_argument("benchmark")
     p.add_argument("--profile", default="baseline")
+    p.add_argument("--reference", action="store_true",
+                   help="replay on the seed reference interpreter "
+                        "(slow; for differential debugging)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("measure", help="measure benchmark × profile pairs")

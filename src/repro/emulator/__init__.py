@@ -1,7 +1,19 @@
 """RISC-V guest emulator: replays compiled guest programs and records the
-execution trace statistics that the zkVM and CPU cost models consume."""
+execution trace statistics that the zkVM and CPU cost models consume.
 
+Two interchangeable execution paths live here:
+
+* :class:`Machine` — the production emulator: decode-once
+  (:func:`decode_program`) and table dispatch over pre-decoded tuples;
+* :class:`ReferenceMachine` — the original per-instruction interpreter, kept
+  as the executable specification for differential testing.
+"""
+
+from .decoder import DecodedProgram, decode_program
 from .machine import EmulationError, Machine, run_program
+from .reference import ReferenceMachine, run_program_reference
 from .trace import PAGE_SIZE, TraceStats
 
-__all__ = ["EmulationError", "Machine", "run_program", "PAGE_SIZE", "TraceStats"]
+__all__ = ["DecodedProgram", "decode_program", "EmulationError", "Machine",
+           "ReferenceMachine", "run_program", "run_program_reference",
+           "PAGE_SIZE", "TraceStats"]

@@ -1,28 +1,56 @@
-"""The RV32IM emulator.
+"""The RV32IM emulator: pre-decoded, table-dispatched guest replay.
 
 Executes an :class:`~repro.backend.isa.AssemblyProgram`, records a
 :class:`~repro.emulator.trace.TraceStats` summary, and feeds optional
 observers (e.g. the x86 timing model) one event per executed instruction.
 This mirrors the role of the zkVM *executor*: replay the guest and produce
 the execution trace that the proving cost models consume.
+
+Every figure, table and autotuner generation in this reproduction bottoms out
+here, so the hot loop is engineered for interpreter throughput:
+
+* the program is lowered once by :mod:`~repro.emulator.decoder` into a flat
+  stream of pre-decoded tuples (integer handler ids, register slots, resolved
+  targets, bound ALU/branch callables) shared across machines and runs;
+* :meth:`Machine.run` picks an **observer-free fast path** when no observers
+  are attached, and an observed path (same decoded stream, plus per-event
+  metadata) when there are;
+* per-instruction opcode/class statistics are deferred: the loop bumps one
+  flat integer counter per static instruction and the dict-shaped
+  :class:`TraceStats` fields are folded once at halt;
+* the per-segment paging flush runs off a countdown instead of evaluating
+  ``instructions % segment_size`` on every instruction, and partial trailing
+  segments (run lengths that are not a multiple of ``segment_size``) are
+  flushed exactly once at halt.
+
+The original seed interpreter survives verbatim as
+:class:`~repro.emulator.reference.ReferenceMachine`; the differential tests
+assert both produce identical traces, outputs and observer event streams.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Optional, Protocol
+from typing import Iterable, List, Optional, Protocol
 
-from ..backend.isa import AssemblyProgram, Label, MachineInstr, classify
+from ..backend.isa import AssemblyProgram
 from ..backend.lowering import HOST_CALL_IDS, STACK_TOP
-from ..zkvm.precompiles import interpret_host_call
+from ..zkvm.precompiles import HOST_CALL_ARITY, interpret_host_call
+from .decoder import (
+    CONDITIONAL_KINDS, DecodedProgram, K_ADD, K_ADDI, K_ALU_RI, K_ALU_RR,
+    K_BAD, K_BEQZ, K_BNEZ, K_BR, K_CALL, K_ECALL, K_J, K_JAL, K_JALR, K_LI,
+    K_LW, K_MV, K_NOP, K_SW, RETURN_SENTINEL, WORD_MASK, decode_program,
+    to_signed,
+)
 from .trace import PAGE_SIZE, TraceStats
 
-WORD_MASK = 0xFFFFFFFF
-RETURN_SENTINEL = 0xFFFF_FFF0
-
-#: Reverse host-call table: ecall id -> name.
+#: Reverse host-call table: ecall id -> name.  The arity of each call lives in
+#: :data:`~repro.zkvm.precompiles.HOST_CALL_ARITY` right alongside (imported
+#: above) so the ecall handler never rebuilds either mapping.
 HOST_CALL_NAMES = {v: k for k, v in HOST_CALL_IDS.items()}
 
+#: Pages are 1 KiB; the hot loop computes page numbers with a shift.
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+assert (1 << _PAGE_SHIFT) == PAGE_SIZE, "PAGE_SIZE must be a power of two"
 
 class EmulationError(Exception):
     """Raised on invalid guest behaviour (unknown opcode, bad call target, ...)."""
@@ -37,48 +65,24 @@ class Observer(Protocol):
                        branch_taken: Optional[bool], pc: int) -> None: ...
 
 
-def _to_signed(value: int) -> int:
-    value &= WORD_MASK
-    return value - (1 << 32) if value >= (1 << 31) else value
-
-
-@dataclass
-class _FlatProgram:
-    """All functions concatenated into one indexable instruction stream."""
-
-    instructions: list
-    labels: dict
-    entries: dict
-
-    @classmethod
-    def build(cls, program: AssemblyProgram) -> "_FlatProgram":
-        instructions: list[MachineInstr] = []
-        labels: dict[str, int] = {}
-        entries: dict[str, int] = {}
-        for name, asm in program.functions.items():
-            entries[name] = len(instructions)
-            for item in asm.body:
-                if isinstance(item, Label):
-                    labels[item.name] = len(instructions)
-                else:
-                    instructions.append(item)
-        return cls(instructions, labels, entries)
-
-
 class Machine:
-    """A single-hart RV32IM machine with a flat word-addressed memory."""
+    """A single-hart RV32IM machine with a flat word-addressed memory.
+
+    The register file is a plain list indexed by the decoder's register
+    slots (``zero`` is slot 0 and always reads 0); :meth:`get` / :meth:`set`
+    translate ABI names for host calls and external callers.
+    """
 
     def __init__(self, program: AssemblyProgram, max_instructions: int = 50_000_000,
                  observers: Iterable[Observer] = (), segment_size: int = 1 << 16,
                  input_values: Optional[list[int]] = None):
         self.program = program
-        self.flat = _FlatProgram.build(program)
+        self.decoded: DecodedProgram = decode_program(program)
         self.max_instructions = max_instructions
         self.observers = list(observers)
         self.segment_size = segment_size
         self.input_values = input_values
-        self.registers: dict[str, int] = {name: 0 for name in
-                                          ("zero", "ra", "sp", "gp", "tp")}
+        self.registers: List[int] = [0] * self.decoded.num_slots
         self.memory: dict[int, int] = dict(program.globals_init)
         self.stats = TraceStats()
         self.output: list[int] = []
@@ -87,6 +91,13 @@ class Machine:
         self.page_out_events = 0
         self._segment_pages_read: set[int] = set()
         self._segment_pages_written: set[int] = set()
+        # Deferred statistics: executions (and taken branches) per static
+        # instruction, folded into TraceStats dicts once at halt.
+        size = len(self.decoded.code)
+        self._exec_counts: List[int] = [0] * size
+        self._taken_counts: List[int] = [0] * size
+        self._executed = 0
+        self._extra_registers: dict[str, int] = {}
 
     # -- memory interface shared with the host-call implementations ----------
     def _read_word(self, address: int) -> int:
@@ -95,250 +106,465 @@ class Machine:
     def _write_word(self, address: int, value: int) -> None:
         self.memory[address & WORD_MASK & ~3] = value & WORD_MASK
 
-    # -- register access -----------------------------------------------------
+    # -- register access (name-based, for host calls and external callers) ----
     def get(self, register: str) -> int:
         if register == "zero":
             return 0
-        return self.registers.get(register, 0)
+        slot = self.decoded.slots.get(register)
+        if slot is None:
+            return self._extra_registers.get(register, 0)
+        return self.registers[slot]
 
     def set(self, register: str, value: int) -> None:
-        if register != "zero":
-            self.registers[register] = value & WORD_MASK
+        if register == "zero":
+            return
+        slot = self.decoded.slots.get(register)
+        if slot is None:
+            self._extra_registers[register] = value & WORD_MASK
+        else:
+            self.registers[slot] = value & WORD_MASK
 
     # -- main loop ------------------------------------------------------------
     def run(self, entry: str = "main", args: Optional[list[int]] = None) -> TraceStats:
-        if entry not in self.flat.entries:
+        decoded = self.decoded
+        if entry not in decoded.entries:
             raise EmulationError(f"no such function: {entry}")
-        args = args or []
-        for index, value in enumerate(args[:8]):
-            self.set(f"a{index}", value)
-        self.set("sp", STACK_TOP)
-        self.set("ra", RETURN_SENTINEL)
-        pc = self.flat.entries[entry]
-        instructions = self.flat.instructions
-        stats = self.stats
-
-        while True:
-            if pc == RETURN_SENTINEL:
-                break
-            if pc < 0 or pc >= len(instructions):
-                raise EmulationError(f"program counter out of range: {pc}")
-            if stats.instructions >= self.max_instructions:
-                raise EmulationError("instruction limit exceeded "
-                                     f"({self.max_instructions})")
-            instr = instructions[pc]
-            pc = self._step(instr, pc)
-            # Segment bookkeeping for the paging model.
-            if stats.instructions % self.segment_size == 0:
-                self._flush_segment()
-
+        regs = self.registers
+        for index, value in enumerate((args or [])[:8]):
+            regs[10 + index] = value & WORD_MASK            # a0..a7
+        regs[2] = STACK_TOP                                 # sp
+        regs[1] = RETURN_SENTINEL                           # ra
+        pc = decoded.entries[entry]
+        try:
+            if self.observers:
+                self._run_observed(pc)
+            else:
+                self._run_fast(pc)
+        finally:
+            # Fold the flat counters into TraceStats even when the guest
+            # faulted, so partial traces stay inspectable (as they were when
+            # the stats dicts were updated per instruction).
+            self._fold_stats()
         self._flush_segment()
-        stats.return_value = _to_signed(self.get("a0"))
+        stats = self.stats
+        stats.return_value = to_signed(regs[10])
         stats.output = list(self.output)
         return stats
 
-    def _flush_segment(self) -> None:
-        self.page_in_events += len(self._segment_pages_read | self._segment_pages_written)
-        self.page_out_events += len(self._segment_pages_written)
-        self._segment_pages_read.clear()
-        self._segment_pages_written.clear()
+    # -- the observer-free fast path ------------------------------------------
+    def _run_fast(self, pc: int) -> None:
+        decoded = self.decoded
+        code = decoded.code
+        regs = self.registers
+        memory = self.memory
+        mem_get = memory.get
+        pac = self.stats.page_access_counts
+        pac_get = pac.get
+        seg_read_add = self._segment_pages_read.add
+        seg_write_add = self._segment_pages_written.add
+        ec = self._exec_counts
+        tc = self._taken_counts
+        seg_size = self.segment_size
+        limit = self.max_instructions
+        executed = self._executed
+        seg_left = seg_size - executed % seg_size
+        M = WORD_MASK
+        SENTINEL = RETURN_SENTINEL
+        # Handler ids as locals: the ladder below tests them in rough
+        # descending order of dynamic frequency.
+        ADDI, ADD, ALU_RR, ALU_RI, LW, SW, BR, MV, LI, BEQZ, BNEZ, J, CALL, \
+            JAL, JALR, ECALL, NOP, BAD = (
+                K_ADDI, K_ADD, K_ALU_RR, K_ALU_RI, K_LW, K_SW, K_BR, K_MV,
+                K_LI, K_BEQZ, K_BNEZ, K_J, K_CALL, K_JAL, K_JALR, K_ECALL,
+                K_NOP, K_BAD)
 
-    def _touch_page(self, address: int, is_write: bool) -> None:
-        page = address // PAGE_SIZE
-        if is_write:
-            self._segment_pages_written.add(page)
-        else:
-            self._segment_pages_read.add(page)
+        try:
+            while pc != SENTINEL:
+                ins = code[pc]
+                if executed >= limit:
+                    raise EmulationError(f"instruction limit exceeded ({limit})")
+                ec[pc] += 1
+                executed += 1
+                k = ins[0]
+                if k == ADDI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = (regs[ins[2]] + ins[3]) & M
+                    pc += 1
+                elif k == ADD:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = (regs[ins[2]] + regs[ins[3]]) & M
+                    pc += 1
+                elif k == ALU_RR:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4](regs[ins[2]], regs[ins[3]])
+                    pc += 1
+                elif k == ALU_RI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4](regs[ins[2]], ins[3])
+                    pc += 1
+                elif k == LW:
+                    address = (regs[ins[3]] + ins[2]) & M
+                    page = address >> _PAGE_SHIFT
+                    pac[page] = pac_get(page, 0) + 1
+                    seg_read_add(page)
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = mem_get(address & 0xFFFFFFFC, 0) & M
+                    pc += 1
+                elif k == SW:
+                    address = (regs[ins[3]] + ins[2]) & M
+                    page = address >> _PAGE_SHIFT
+                    pac[page] = pac_get(page, 0) + 1
+                    seg_write_add(page)
+                    memory[address & 0xFFFFFFFC] = regs[ins[1]]
+                    pc += 1
+                elif k == BR:
+                    if ins[4](regs[ins[1]], regs[ins[2]]):
+                        tc[pc] += 1
+                        target = ins[3]
+                        if target < 0:
+                            raise EmulationError(
+                                f"unknown label: {decoded.unresolved[pc]}")
+                        pc = target
+                    else:
+                        pc += 1
+                elif k == MV:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = regs[ins[2]]
+                    pc += 1
+                elif k == LI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[2]
+                    pc += 1
+                elif k == BEQZ:
+                    if regs[ins[1]] == 0:
+                        tc[pc] += 1
+                        target = ins[2]
+                        if target < 0:
+                            raise EmulationError(
+                                f"unknown label: {decoded.unresolved[pc]}")
+                        pc = target
+                    else:
+                        pc += 1
+                elif k == BNEZ:
+                    if regs[ins[1]] != 0:
+                        tc[pc] += 1
+                        target = ins[2]
+                        if target < 0:
+                            raise EmulationError(
+                                f"unknown label: {decoded.unresolved[pc]}")
+                        pc = target
+                    else:
+                        pc += 1
+                elif k == J:
+                    target = ins[1]
+                    if target < 0:
+                        raise EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}")
+                    pc = target
+                elif k == CALL:
+                    target = ins[1]
+                    if target < 0:   # faults before the link write (ref order)
+                        raise EmulationError(
+                            f"call to unknown function: {decoded.unresolved[pc]}")
+                    regs[1] = ins[2]                        # ra = link
+                    pc = target
+                elif k == JAL:
+                    rd = ins[1]
+                    if rd:           # link is written before the fault check,
+                        regs[rd] = ins[3]                   # as in the reference
+                    target = ins[2]
+                    if target < 0:
+                        raise EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}")
+                    pc = target
+                elif k == JALR:
+                    target = (regs[ins[2]] + ins[3]) & M
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4]
+                    pc = target
+                elif k == ECALL:
+                    self._ecall()
+                    pc += 1
+                elif k == NOP:
+                    pc += 1
+                elif k == BAD:
+                    if not ins[3]:
+                        ec[pc] -= 1
+                        executed -= 1
+                    raise (EmulationError(ins[2]) if ins[1]
+                           else ValueError(ins[2]))
+                else:  # pragma: no cover - decoder emits only known kinds
+                    raise EmulationError(f"unknown handler id: {k}")
 
-    # -- single instruction ----------------------------------------------------
-    def _step(self, instr: MachineInstr, pc: int) -> int:
-        opcode = instr.opcode
-        ops = instr.operands
+                seg_left -= 1
+                if not seg_left:
+                    seg_left = seg_size
+                    self._flush_segment()
+        except IndexError:
+            if not 0 <= pc < len(code):
+                raise EmulationError(
+                    f"program counter out of range: {pc}") from None
+            raise
+        finally:
+            self._executed = executed
+
+    # -- the observed path -----------------------------------------------------
+    def _run_observed(self, pc: int) -> None:
+        """Same decoded dispatch, plus one event per instruction to observers.
+
+        Events carry exactly what the reference interpreter reported: opcode,
+        instruction class, destination/source register *names*, the effective
+        memory address for loads/stores, and the branch outcome.
+        """
+        decoded = self.decoded
+        code = decoded.code
+        opcodes = decoded.opcodes
+        classes = decoded.classes
+        dests = decoded.dests
+        sources = decoded.sources
+        regs = self.registers
+        memory = self.memory
+        mem_get = memory.get
+        pac = self.stats.page_access_counts
+        pac_get = pac.get
+        seg_read_add = self._segment_pages_read.add
+        seg_write_add = self._segment_pages_written.add
+        ec = self._exec_counts
+        tc = self._taken_counts
+        seg_size = self.segment_size
+        limit = self.max_instructions
+        executed = self._executed
+        seg_left = seg_size - executed % seg_size
+        M = WORD_MASK
+        SENTINEL = RETURN_SENTINEL
+        notifiers = tuple(observer.on_instruction for observer in self.observers)
+
+        try:
+            while pc != SENTINEL:
+                ins = code[pc]
+                if executed >= limit:
+                    raise EmulationError(f"instruction limit exceeded ({limit})")
+                ec[pc] += 1
+                executed += 1
+                current = pc
+                memory_address: Optional[int] = None
+                is_store = False
+                branch_taken: Optional[bool] = None
+                k = ins[0]
+                if k == K_ADDI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = (regs[ins[2]] + ins[3]) & M
+                    pc += 1
+                elif k == K_ADD:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = (regs[ins[2]] + regs[ins[3]]) & M
+                    pc += 1
+                elif k == K_ALU_RR:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4](regs[ins[2]], regs[ins[3]])
+                    pc += 1
+                elif k == K_ALU_RI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4](regs[ins[2]], ins[3])
+                    pc += 1
+                elif k == K_LW:
+                    memory_address = (regs[ins[3]] + ins[2]) & M
+                    page = memory_address >> _PAGE_SHIFT
+                    pac[page] = pac_get(page, 0) + 1
+                    seg_read_add(page)
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = mem_get(memory_address & 0xFFFFFFFC, 0) & M
+                    pc += 1
+                elif k == K_SW:
+                    memory_address = (regs[ins[3]] + ins[2]) & M
+                    page = memory_address >> _PAGE_SHIFT
+                    pac[page] = pac_get(page, 0) + 1
+                    seg_write_add(page)
+                    memory[memory_address & 0xFFFFFFFC] = regs[ins[1]]
+                    is_store = True
+                    pc += 1
+                elif k == K_BR:
+                    branch_taken = ins[4](regs[ins[1]], regs[ins[2]])
+                    if branch_taken:
+                        tc[pc] += 1
+                        target = ins[3]
+                        if target < 0:
+                            raise EmulationError(
+                                f"unknown label: {decoded.unresolved[pc]}")
+                        pc = target
+                    else:
+                        pc += 1
+                elif k == K_MV:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = regs[ins[2]]
+                    pc += 1
+                elif k == K_LI:
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[2]
+                    pc += 1
+                elif k in (K_BEQZ, K_BNEZ):
+                    value = regs[ins[1]]
+                    branch_taken = (value == 0) if k == K_BEQZ else (value != 0)
+                    if branch_taken:
+                        tc[pc] += 1
+                        target = ins[2]
+                        if target < 0:
+                            raise EmulationError(
+                                f"unknown label: {decoded.unresolved[pc]}")
+                        pc = target
+                    else:
+                        pc += 1
+                elif k == K_J:
+                    branch_taken = True
+                    target = ins[1]
+                    if target < 0:
+                        raise EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}")
+                    pc = target
+                elif k == K_CALL:
+                    target = ins[1]
+                    if target < 0:   # faults before the link write (ref order)
+                        raise EmulationError(
+                            f"call to unknown function: {decoded.unresolved[pc]}")
+                    regs[1] = ins[2]
+                    pc = target
+                elif k == K_JAL:
+                    rd = ins[1]
+                    if rd:           # link is written before the fault check,
+                        regs[rd] = ins[3]                   # as in the reference
+                    target = ins[2]
+                    if target < 0:
+                        raise EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}")
+                    pc = target
+                elif k == K_JALR:
+                    target = (regs[ins[2]] + ins[3]) & M
+                    rd = ins[1]
+                    if rd:
+                        regs[rd] = ins[4]
+                    pc = target
+                elif k == K_ECALL:
+                    self._ecall()
+                    pc += 1
+                elif k == K_NOP:
+                    pc += 1
+                elif k == K_BAD:
+                    if not ins[3]:
+                        ec[pc] -= 1
+                        executed -= 1
+                    raise (EmulationError(ins[2]) if ins[1]
+                           else ValueError(ins[2]))
+                else:  # pragma: no cover - decoder emits only known kinds
+                    raise EmulationError(f"unknown handler id: {k}")
+
+                for notify in notifiers:
+                    notify(opcodes[current], classes[current], dests[current],
+                           sources[current], memory_address, is_store,
+                           branch_taken, current)
+
+                seg_left -= 1
+                if not seg_left:
+                    seg_left = seg_size
+                    self._flush_segment()
+        except IndexError:
+            if not 0 <= pc < len(code):
+                raise EmulationError(
+                    f"program counter out of range: {pc}") from None
+            raise
+        finally:
+            self._executed = executed
+
+    # -- statistics ------------------------------------------------------------
+    def _fold_stats(self) -> None:
+        """Fold the flat per-instruction counters into the TraceStats dicts.
+
+        Runs once at halt (or fault) instead of updating two dicts and a
+        handful of scalars on every executed instruction.  Counter arrays are
+        cumulative across runs, so re-folding is idempotent.
+        """
+        decoded = self.decoded
+        code = decoded.code
+        opcodes = decoded.opcodes
+        classes = decoded.classes
+        tc = self._taken_counts
         stats = self.stats
-        instruction_class = classify(opcode)
-        stats.record_instruction(opcode, instruction_class)
+        opcode_counts: dict[str, int] = {}
+        class_counts: dict[str, int] = {}
+        instructions = loads = stores = calls = 0
+        taken = not_taken = 0
+        for index, count in enumerate(self._exec_counts):
+            if not count:
+                continue
+            instructions += count
+            opcode = opcodes[index]
+            opcode_counts[opcode] = opcode_counts.get(opcode, 0) + count
+            cls = classes[index]
+            class_counts[cls] = class_counts.get(cls, 0) + count
+            k = code[index][0]
+            if k == K_LW:
+                loads += count
+            elif k == K_SW:
+                stores += count
+            elif k == K_CALL:
+                calls += count
+            elif k == K_J:
+                taken += count
+            elif k in CONDITIONAL_KINDS:
+                t = tc[index]
+                taken += t
+                not_taken += count - t
+        stats.instructions = instructions
+        stats.opcode_counts = opcode_counts
+        stats.class_counts = class_counts
+        stats.loads = loads
+        stats.stores = stores
+        stats.calls = calls
+        stats.branches_taken = taken
+        stats.branches_not_taken = not_taken
+        # Pages touched in the still-open segment belong to the whole-run sets
+        # too (the flush below only counts per-segment paging events).
+        stats.pages_read |= self._segment_pages_read
+        stats.pages_written |= self._segment_pages_written
 
-        memory_address: Optional[int] = None
-        is_store = False
-        branch_taken: Optional[bool] = None
-        dest: Optional[str] = None
-        sources: list[str] = []
-        next_pc = pc + 1
+    def _flush_segment(self) -> None:
+        seg_read = self._segment_pages_read
+        seg_written = self._segment_pages_written
+        stats = self.stats
+        stats.pages_read |= seg_read
+        stats.pages_written |= seg_written
+        self.page_in_events += len(seg_read | seg_written)
+        self.page_out_events += len(seg_written)
+        seg_read.clear()
+        seg_written.clear()
 
-        get, set_ = self.get, self.set
-
-        if opcode in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
-                      "slt", "sltu", "mul", "div", "divu", "rem", "remu"):
-            dest, rs1, rs2 = ops
-            sources = [rs1, rs2]
-            set_(dest, _ALU_OPS[opcode](get(rs1), get(rs2)))
-        elif opcode in ("addi", "andi", "ori", "xori", "slli", "srli", "srai",
-                        "slti", "sltiu"):
-            dest, rs1, imm = ops
-            sources = [rs1]
-            set_(dest, _ALU_IMM_OPS[opcode](get(rs1), imm))
-        elif opcode == "li":
-            dest = ops[0]
-            set_(dest, ops[1] & WORD_MASK)
-        elif opcode == "lui":
-            dest = ops[0]
-            set_(dest, (ops[1] << 12) & WORD_MASK)
-        elif opcode == "mv":
-            dest, rs1 = ops
-            sources = [rs1]
-            set_(dest, get(rs1))
-        elif opcode == "lw":
-            dest, offset, base = ops
-            sources = [base]
-            memory_address = (get(base) + offset) & WORD_MASK
-            set_(dest, self._read_word(memory_address))
-            stats.record_memory(memory_address, False)
-            self._touch_page(memory_address, False)
-        elif opcode == "sw":
-            value_reg, offset, base = ops
-            sources = [value_reg, base]
-            memory_address = (get(base) + offset) & WORD_MASK
-            self._write_word(memory_address, get(value_reg))
-            stats.record_memory(memory_address, True)
-            self._touch_page(memory_address, True)
-            is_store = True
-        elif opcode in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-            rs1, rs2, label = ops
-            sources = [rs1, rs2]
-            taken = _BRANCH_OPS[opcode](get(rs1), get(rs2))
-            branch_taken = taken
-            if taken:
-                stats.branches_taken += 1
-                next_pc = self._label_target(label)
-            else:
-                stats.branches_not_taken += 1
-        elif opcode in ("beqz", "bnez"):
-            rs1, label = ops
-            sources = [rs1]
-            value = get(rs1)
-            taken = (value == 0) if opcode == "beqz" else (value != 0)
-            branch_taken = taken
-            if taken:
-                stats.branches_taken += 1
-                next_pc = self._label_target(label)
-            else:
-                stats.branches_not_taken += 1
-        elif opcode == "j":
-            branch_taken = True
-            stats.branches_taken += 1
-            next_pc = self._label_target(ops[0])
-        elif opcode == "call":
-            stats.calls += 1
-            target = ops[0]
-            if target not in self.flat.entries:
-                raise EmulationError(f"call to unknown function: {target}")
-            set_("ra", pc + 1)
-            dest = "ra"
-            next_pc = self.flat.entries[target]
-        elif opcode == "jalr":
-            dest, base, offset = ops
-            sources = [base]
-            target = (get(base) + offset) & WORD_MASK
-            set_(dest, pc + 1)
-            next_pc = target
-        elif opcode == "jal":
-            dest, label = ops
-            set_(dest, pc + 1)
-            next_pc = self._label_target(label)
-        elif opcode == "ecall":
-            self._handle_ecall()
-            dest = "a0"
-            sources = ["a0", "a1", "a2", "a7"]
-        elif opcode == "ebreak":
-            raise EmulationError("guest executed ebreak (unreachable code)")
-        elif opcode == "nop":
-            pass
-        else:
-            raise EmulationError(f"unknown opcode: {opcode}")
-
-        for observer in self.observers:
-            observer.on_instruction(opcode, instruction_class, dest, sources,
-                                    memory_address, is_store, branch_taken, pc)
-        return next_pc
-
-    def _label_target(self, label: str) -> int:
-        target = self.flat.labels.get(label)
-        if target is None:
-            raise EmulationError(f"unknown label: {label}")
-        return target
-
-    def _handle_ecall(self) -> None:
-        call_id = self.get("a7")
+    # -- host calls ------------------------------------------------------------
+    def _ecall(self) -> None:
+        regs = self.registers
+        call_id = regs[17]                                  # a7
         name = HOST_CALL_NAMES.get(call_id)
         if name is None:
             raise EmulationError(f"unknown ecall id: {call_id}")
-        self.stats.host_calls[name] = self.stats.host_calls.get(name, 0) + 1
-        args = [_to_signed(self.get(f"a{i}")) & WORD_MASK for i in range(4)]
-        arity = {"__print": 1, "__read_input": 1, "__sha256": 3, "__keccak256": 3,
-                 "__ecdsa_verify": 3, "__eddsa_verify": 3, "__bigint_modmul": 4}.get(name, 1)
-        result = interpret_host_call(name, args[:arity], self)
-        self.set("a0", result)
-
-
-# -- scalar helpers -------------------------------------------------------------
-def _div(a: int, b: int) -> int:
-    sa, sb = _to_signed(a), _to_signed(b)
-    if sb == 0:
-        return WORD_MASK
-    quotient = abs(sa) // abs(sb)
-    if (sa < 0) != (sb < 0):
-        quotient = -quotient
-    return quotient & WORD_MASK
-
-
-def _rem(a: int, b: int) -> int:
-    sa, sb = _to_signed(a), _to_signed(b)
-    if sb == 0:
-        return a
-    remainder = abs(sa) % abs(sb)
-    if sa < 0:
-        remainder = -remainder
-    return remainder & WORD_MASK
-
-
-_ALU_OPS = {
-    "add": lambda a, b: (a + b) & WORD_MASK,
-    "sub": lambda a, b: (a - b) & WORD_MASK,
-    "and": lambda a, b: a & b,
-    "or": lambda a, b: a | b,
-    "xor": lambda a, b: a ^ b,
-    "sll": lambda a, b: (a << (b & 31)) & WORD_MASK,
-    "srl": lambda a, b: (a >> (b & 31)) & WORD_MASK,
-    "sra": lambda a, b: (_to_signed(a) >> (b & 31)) & WORD_MASK,
-    "slt": lambda a, b: int(_to_signed(a) < _to_signed(b)),
-    "sltu": lambda a, b: int(a < b),
-    "mul": lambda a, b: (a * b) & WORD_MASK,
-    "div": _div,
-    "divu": lambda a, b: (a // b) & WORD_MASK if b else WORD_MASK,
-    "rem": _rem,
-    "remu": lambda a, b: (a % b) & WORD_MASK if b else a,
-}
-
-_ALU_IMM_OPS = {
-    "addi": lambda a, imm: (a + imm) & WORD_MASK,
-    "andi": lambda a, imm: a & (imm & WORD_MASK),
-    "ori": lambda a, imm: a | (imm & WORD_MASK),
-    "xori": lambda a, imm: a ^ (imm & WORD_MASK),
-    "slli": lambda a, imm: (a << (imm & 31)) & WORD_MASK,
-    "srli": lambda a, imm: (a >> (imm & 31)) & WORD_MASK,
-    "srai": lambda a, imm: (_to_signed(a) >> (imm & 31)) & WORD_MASK,
-    "slti": lambda a, imm: int(_to_signed(a) < imm),
-    "sltiu": lambda a, imm: int(a < (imm & WORD_MASK)),
-}
-
-_BRANCH_OPS = {
-    "beq": lambda a, b: a == b,
-    "bne": lambda a, b: a != b,
-    "blt": lambda a, b: _to_signed(a) < _to_signed(b),
-    "bge": lambda a, b: _to_signed(a) >= _to_signed(b),
-    "bltu": lambda a, b: a < b,
-    "bgeu": lambda a, b: a >= b,
-}
+        host_calls = self.stats.host_calls
+        host_calls[name] = host_calls.get(name, 0) + 1
+        arity = HOST_CALL_ARITY.get(name, 1)
+        result = interpret_host_call(
+            name, [regs[10], regs[11], regs[12], regs[13]][:arity], self)
+        regs[10] = result & WORD_MASK                       # a0
 
 
 def run_program(program: AssemblyProgram, entry: str = "main",

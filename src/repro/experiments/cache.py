@@ -74,6 +74,20 @@ def _benchmark_blob(benchmark: "Benchmark") -> str:
     }, sort_keys=True)
 
 
+def profile_recipe(profile: "Profile") -> dict:
+    """The profile ingredients that shape generated code (name excluded).
+
+    Single source of truth shared by :func:`measurement_fingerprint` and the
+    runner's compiled-program cache key, so a new code-shaping ``Profile``
+    field can never invalidate one cache but not the other.
+    """
+    return {
+        "passes": profile.passes,
+        "config": asdict(profile.config),
+        "cost_model": asdict(profile.cost_model),
+    }
+
+
 def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
                             max_instructions: int, verify: bool = False) -> str:
     """Content hash identifying one measurement.
@@ -85,9 +99,7 @@ def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
     serialized — so cache probes stay cheap on regenerator hot paths.
     """
     profile_blob = json.dumps({
-        "passes": profile.passes,
-        "config": asdict(profile.config),
-        "cost_model": asdict(profile.cost_model),
+        **profile_recipe(profile),
         "max_instructions": max_instructions,
         "verify": verify,
     }, sort_keys=True, default=repr)

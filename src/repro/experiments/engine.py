@@ -28,30 +28,34 @@ from typing import Optional, Sequence
 
 from .cache import MeasurementCache, measurement_fingerprint
 from .profiles import Profile
-from .runner import BenchmarkRunner, Measurement
+from .runner import BenchmarkRunner, DEFAULT_PROGRAM_CACHE_SIZE, Measurement
 
 #: Batches smaller than this run in-process: forking a pool costs more than it
 #: saves for one or two jobs.
 DEFAULT_PARALLEL_THRESHOLD = 2
 
 #: Per-process runner reuse inside pool workers, so one worker measuring many
-#: profiles of the same benchmark parses/compiles the frontend module once.
+#: profiles of the same benchmark parses/compiles the frontend module once —
+#: and, through the runner's compiled-program cache, decodes each compiled
+#: program into the emulator's dispatch stream once per worker process.
 _WORKER_RUNNERS: dict = {}
 
 
 def _compute_measurement_job(job) -> Measurement:
     """Pool worker entry point: compute one measurement from scratch.
 
-    ``job`` is ``(benchmark_name, profile, max_instructions, verify)``.  Runs
-    in a separate process; the only state shared with the parent is the
-    picklable job tuple and the returned :class:`Measurement`.
+    ``job`` is ``(benchmark_name, profile, max_instructions, verify,
+    program_cache_size)``.  Runs in a separate process; the only state shared
+    with the parent is the picklable job tuple and the returned
+    :class:`Measurement`.
     """
-    benchmark_name, profile, max_instructions, verify = job
-    key = (max_instructions, verify)
+    benchmark_name, profile, max_instructions, verify, program_cache_size = job
+    key = (max_instructions, verify, program_cache_size)
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
         runner = _WORKER_RUNNERS[key] = BenchmarkRunner(
-            max_instructions=max_instructions, verify=verify)
+            max_instructions=max_instructions, verify=verify,
+            program_cache_size=program_cache_size)
     return runner.measure(benchmark_name, profile, use_cache=False)
 
 
@@ -105,8 +109,10 @@ class ExperimentEngine(BenchmarkRunner):
                  cache: Optional[MeasurementCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk_cache: bool = True,
-                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD):
-        super().__init__(max_instructions=max_instructions, verify=verify)
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE):
+        super().__init__(max_instructions=max_instructions, verify=verify,
+                         program_cache_size=program_cache_size)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if cache is None and use_disk_cache:
             cache = MeasurementCache(cache_dir)
@@ -206,7 +212,8 @@ class ExperimentEngine(BenchmarkRunner):
         if pending:
             keys = list(pending)
             jobs = [(pairs[pending[key][0]][0], pairs[pending[key][0]][1],
-                     self.max_instructions, self.verify) for key in keys]
+                     self.max_instructions, self.verify,
+                     self.program_cache_size) for key in keys]
             for key, outcome in zip(keys, self._compute_batch(jobs)):
                 if isinstance(outcome, Exception):
                     self.stats.errors += 1
@@ -249,7 +256,7 @@ class ExperimentEngine(BenchmarkRunner):
     def _compute_serial(self, jobs: list) -> list:
         outcomes = []
         for job in jobs:
-            benchmark_name, profile, _, _ = job
+            benchmark_name, profile = job[0], job[1]
             try:
                 outcomes.append(
                     super().measure(benchmark_name, profile, use_cache=False))

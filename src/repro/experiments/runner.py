@@ -11,6 +11,7 @@ engine anywhere a runner is accepted to parallelize and persist a study."""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Optional
@@ -83,18 +84,46 @@ def warm_matrix(runner: "BenchmarkRunner", benchmarks: list[str],
                           for benchmark in benchmarks for profile in profiles])
 
 
+#: Default capacity of the compiled-program cache (FIFO-evicted).  Compiled
+#: ``AssemblyProgram`` objects carry their decoded instruction stream (see
+#: :func:`repro.emulator.decode_program`), so reusing the program object across
+#: measurements means each benchmark is compiled *and decoded* once per
+#: process — the autotuner's re-measured elites and every repeated baseline
+#: skip straight to the pre-decoded hot loop.
+DEFAULT_PROGRAM_CACHE_SIZE = 128
+
+
+def _program_key(benchmark_name: str, profile: Profile) -> str:
+    """Content key for a compiled program: everything that shapes the code.
+
+    Keyed by the profile's *recipe* (passes, config, cost model — shared with
+    :func:`~repro.experiments.cache.measurement_fingerprint`), not its display
+    name, so content-equal profiles (an autotuner candidate that rediscovers
+    ``-O2``) share one compiled+decoded program.
+    """
+    from .cache import profile_recipe
+
+    return json.dumps({"benchmark": benchmark_name, **profile_recipe(profile)},
+                      sort_keys=True, default=repr)
+
+
 class BenchmarkRunner:
     """Compiles and measures benchmark programs under optimization profiles.
 
     Compilation results are memoized per (benchmark, profile) so that the
-    table/figure regenerators can share work.
+    table/figure regenerators can share work, and compiled programs are kept
+    in a bounded content-keyed cache so their decoded instruction streams are
+    reused across measurements (decode once per process).
     """
 
-    def __init__(self, max_instructions: int = 20_000_000, verify: bool = False):
+    def __init__(self, max_instructions: int = 20_000_000, verify: bool = False,
+                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE):
         self.max_instructions = max_instructions
         self.verify = verify
+        self.program_cache_size = program_cache_size
         self._source_cache: dict[str, Module] = {}
         self._measure_cache: dict[tuple[str, str], Measurement] = {}
+        self._program_cache: dict[str, object] = {}
 
     # -- compilation ---------------------------------------------------------
     def frontend_module(self, benchmark_name: str) -> Module:
@@ -107,14 +136,32 @@ class BenchmarkRunner:
                 benchmark.source, module_name=benchmark_name)
         return self._source_cache[benchmark_name]
 
-    def compile(self, benchmark_name: str, profile: Profile):
-        """Apply the profile's passes and lower to RV32IM."""
+    def compile(self, benchmark_name: str, profile: Profile,
+                use_cache: bool = True):
+        """Apply the profile's passes and lower to RV32IM.
+
+        The compiled ``AssemblyProgram`` is cached by content key so repeated
+        measurements of the same recipe reuse one program object — and with
+        it the emulator's per-program decoded instruction stream.  Emulation
+        never mutates the program (machines copy ``globals_init``), so the
+        shared object is safe across runs.
+        """
+        key = _program_key(benchmark_name, profile)
+        if use_cache:
+            program = self._program_cache.get(key)
+            if program is not None:
+                return program
         module = self.frontend_module(benchmark_name).clone()
         if profile.passes:
             PassManager(profile.passes, profile.config).run(module)
         if self.verify:
             verify_module(module)
-        return compile_module(module, profile.cost_model)
+        program = compile_module(module, profile.cost_model)
+        if use_cache and self.program_cache_size > 0:
+            while len(self._program_cache) >= self.program_cache_size:
+                self._program_cache.pop(next(iter(self._program_cache)))
+            self._program_cache[key] = program
+        return program
 
     # -- measurement ----------------------------------------------------------
     def measure(self, benchmark_name: str, profile: Profile,

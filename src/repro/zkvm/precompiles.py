@@ -43,6 +43,19 @@ HOST_CALLS = frozenset({
     "__read_input",
 })
 
+#: Argument count of each host call (how many ``a0..a3`` registers the
+#: emulator must marshal into :func:`interpret_host_call`).  Module-level so
+#: the emulators look it up instead of rebuilding a dict per ecall.
+HOST_CALL_ARITY = {
+    "__print": 1,
+    "__read_input": 1,
+    "__sha256": 3,
+    "__keccak256": 3,
+    "__ecdsa_verify": 3,
+    "__eddsa_verify": 3,
+    "__bigint_modmul": 4,
+}
+
 #: Host calls that are accelerated by a precompile circuit (everything except
 #: plain I/O).  Used by the zkVM cycle models.
 PRECOMPILES = frozenset({

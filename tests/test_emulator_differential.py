@@ -1,0 +1,410 @@
+"""Differential tests: the pre-decoded fast emulator vs the seed interpreter.
+
+The production :class:`~repro.emulator.machine.Machine` replays guests through
+a decode-once, table-dispatch pipeline; the original per-instruction
+interpreter survives as :class:`~repro.emulator.reference.ReferenceMachine`.
+These tests assert the two produce *identical* trace statistics, outputs,
+paging events and observer event streams — across every seed benchmark and an
+opcode-coverage microprogram that executes every implemented ALU, branch,
+jump, memory and ecall opcode at least once.
+"""
+
+import pytest
+
+from repro.backend import compile_module
+from repro.backend.isa import (
+    AssemblyFunction, AssemblyProgram, Label, MachineInstr,
+)
+from repro.backend.lowering import HOST_CALL_IDS
+from repro.benchmarks import all_benchmark_names, get_benchmark
+from repro.emulator import (
+    EmulationError, Machine, ReferenceMachine, decode_program,
+)
+from repro.emulator.decoder import ALU_IMM_IMPLS, _ALU_IMM_DECODED
+from repro.frontend import compile_source
+
+
+class RecordingObserver:
+    """Captures the full per-instruction event stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_instruction(self, opcode, instruction_class, dest, sources,
+                       memory_address, is_store, branch_taken, pc):
+        self.events.append((opcode, instruction_class, dest, tuple(sources),
+                            memory_address, bool(is_store),
+                            None if branch_taken is None else bool(branch_taken),
+                            pc))
+
+
+def _compile_benchmark(name: str) -> AssemblyProgram:
+    benchmark = get_benchmark(name)
+    return compile_module(compile_source(benchmark.source, module_name=name))
+
+
+def _run_both(program, observers=False, **kwargs):
+    """Run ``program`` on both machines; return (fast, ref, events, ref_events)."""
+    fast_obs, ref_obs = RecordingObserver(), RecordingObserver()
+    fast = Machine(program, observers=[fast_obs] if observers else (), **kwargs)
+    ref = ReferenceMachine(program, observers=[ref_obs] if observers else (),
+                           **kwargs)
+    fast.run()
+    ref.run()
+    return fast, ref, fast_obs.events, ref_obs.events
+
+
+def _assert_machines_identical(fast, ref, context=""):
+    assert fast.stats == ref.stats, f"TraceStats diverged {context}"
+    assert fast.page_in_events == ref.page_in_events, context
+    assert fast.page_out_events == ref.page_out_events, context
+    assert fast.output == ref.output, context
+    assert fast.memory == ref.memory, context
+
+
+# -- opcode-coverage microprogram ----------------------------------------------
+#: Every opcode the emulator implements (decoded to a non-faulting handler).
+IMPLEMENTED_OPCODES = frozenset({
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+    "mul", "div", "divu", "rem", "remu",
+    "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti", "sltiu",
+    "li", "lui", "mv", "lw", "sw",
+    "beq", "bne", "blt", "bge", "bltu", "bgeu", "beqz", "bnez", "j",
+    "call", "jal", "jalr", "ecall", "nop",
+})
+
+
+def _instr(opcode, *operands):
+    return MachineInstr(opcode, list(operands))
+
+
+def microprogram() -> AssemblyProgram:
+    """A hand-written guest executing every implemented opcode at least once.
+
+    Branches are exercised both taken and not-taken; signed/unsigned and
+    negative-immediate corners are included so every decode-time immediate
+    preparation is hit.
+    """
+    main = [
+        # prologue: keep main's sentinel return address across calls
+        _instr("addi", "sp", "sp", -8),
+        _instr("sw", "ra", 4, "sp"),
+        # register-register ALU, with a negative operand in t4
+        _instr("li", "t0", 12),
+        _instr("li", "t1", 5),
+        _instr("li", "t4", -7),
+        _instr("add", "t2", "t0", "t1"),
+        _instr("sub", "t3", "t0", "t1"),
+        _instr("and", "s1", "t0", "t1"),
+        _instr("or", "s2", "t0", "t1"),
+        _instr("xor", "s3", "t0", "t1"),
+        _instr("sll", "s4", "t0", "t1"),
+        _instr("srl", "s5", "s4", "t1"),
+        _instr("sra", "s6", "t4", "t1"),
+        _instr("slt", "s7", "t4", "t0"),
+        _instr("sltu", "s8", "t4", "t0"),
+        _instr("mul", "s9", "t0", "t1"),
+        _instr("div", "s10", "t4", "t1"),
+        _instr("divu", "s11", "t0", "t1"),
+        _instr("rem", "t5", "t4", "t1"),
+        _instr("remu", "t6", "t0", "t1"),
+        # division corner: divisor zero
+        _instr("li", "a1", 0),
+        _instr("div", "a2", "t0", "a1"),
+        _instr("divu", "a3", "t0", "a1"),
+        _instr("rem", "a4", "t4", "a1"),
+        _instr("remu", "a5", "t0", "a1"),
+        # immediates, including negative / masked corners
+        _instr("addi", "a1", "t0", -3),
+        _instr("andi", "a2", "t4", 255),
+        _instr("andi", "a3", "t4", -1),
+        _instr("ori", "a4", "t4", -16),
+        _instr("xori", "a5", "t4", -1),
+        _instr("slli", "a6", "t0", 3),
+        _instr("srli", "a7", "t4", 2),
+        _instr("srai", "s1", "t4", 2),
+        _instr("slti", "s2", "t4", -3),
+        _instr("slti", "s3", "t4", 100),
+        _instr("sltiu", "s4", "t4", -1),
+        _instr("sltiu", "s5", "t0", 13),
+        _instr("lui", "s6", 5),
+        _instr("mv", "s7", "t0"),
+        _instr("nop"),
+        # memory: stores, loads, and a load from never-written address 0
+        _instr("li", "s8", 0x1000),
+        _instr("sw", "t0", 0, "s8"),
+        _instr("lw", "s9", 0, "s8"),
+        _instr("sw", "t1", 4, "s8"),
+        _instr("lw", "s10", 4, "s8"),
+        _instr("lw", "s11", 0, "zero"),
+        # conditional branches: every predicate, taken and not taken
+        _instr("beq", "t0", "t1", "Lnever"),
+        _instr("beq", "t0", "t0", "L1"),
+        Label("L1"),
+        _instr("bne", "t0", "t0", "Lnever"),
+        _instr("bne", "t0", "t1", "L2"),
+        Label("L2"),
+        _instr("blt", "t1", "t0", "L3"),
+        Label("L3"),
+        _instr("blt", "t0", "t1", "Lnext1"),
+        Label("Lnext1"),
+        _instr("bge", "t0", "t1", "L4"),
+        Label("L4"),
+        _instr("bge", "t4", "t0", "Lnext2"),   # t4 negative: not taken
+        Label("Lnext2"),
+        _instr("bltu", "t1", "t0", "L5"),
+        Label("L5"),
+        _instr("bltu", "t4", "t0", "Lnext3"),  # t4 huge unsigned: not taken
+        Label("Lnext3"),
+        _instr("bgeu", "t4", "t0", "L6"),      # taken (unsigned)
+        Label("L6"),
+        _instr("beqz", "zero", "L7"),
+        Label("L7"),
+        _instr("bnez", "t0", "L8"),
+        Label("L8"),
+        _instr("beqz", "t0", "Lnever"),
+        _instr("bnez", "zero", "Lnever"),
+        _instr("j", "L9"),
+        Label("Lnever"),
+        _instr("ebreak"),
+        Label("L9"),
+        # jumps and calls
+        _instr("call", "helper"),
+        _instr("call", "helper2"),
+        _instr("jal", "t3", "Lj"),
+        Label("Lj"),
+        # host calls: print the accumulator, read one input word
+        _instr("mv", "a0", "s9"),
+        _instr("li", "a7", HOST_CALL_IDS["__print"]),
+        _instr("ecall"),
+        _instr("li", "a0", 0),
+        _instr("li", "a7", HOST_CALL_IDS["__read_input"]),
+        _instr("ecall"),
+        # epilogue
+        _instr("lw", "ra", 4, "sp"),
+        _instr("addi", "sp", "sp", 8),
+        _instr("jalr", "zero", "ra", 0),
+    ]
+    helper = [
+        _instr("addi", "a0", "a0", 1),
+        _instr("jalr", "zero", "ra", 0),
+    ]
+    helper2 = [
+        _instr("jalr", "t4", "ra", 0),         # jalr with a live destination
+    ]
+    return AssemblyProgram(functions={
+        "main": AssemblyFunction("main", main),
+        "helper": AssemblyFunction("helper", helper),
+        "helper2": AssemblyFunction("helper2", helper2),
+    })
+
+
+class TestMicroprogram:
+    def test_covers_every_implemented_opcode(self):
+        program = microprogram()
+        stats = Machine(program, input_values=[77]).run()
+        executed = set(stats.opcode_counts)
+        missing = IMPLEMENTED_OPCODES - executed
+        assert not missing, f"microprogram never executed: {sorted(missing)}"
+
+    def test_fast_and_reference_identical(self):
+        program = microprogram()
+        fast, ref, fast_events, ref_events = _run_both(
+            program, observers=True, input_values=[77])
+        _assert_machines_identical(fast, ref, "on the microprogram")
+        assert fast_events == ref_events
+
+    def test_branches_seen_taken_and_not_taken(self):
+        stats = Machine(microprogram(), input_values=[77]).run()
+        assert stats.branches_taken > 0
+        assert stats.branches_not_taken > 0
+
+
+class TestSeedBenchmarksDifferential:
+    @pytest.mark.parametrize("name", all_benchmark_names())
+    def test_trace_stats_identical(self, name):
+        benchmark = get_benchmark(name)
+        program = _compile_benchmark(name)
+        fast = Machine(program, input_values=benchmark.inputs)
+        ref = ReferenceMachine(program, input_values=benchmark.inputs)
+        fast.run("main", benchmark.args)
+        ref.run("main", benchmark.args)
+        _assert_machines_identical(fast, ref, f"on benchmark {name}")
+        assert fast.stats.summary() == ref.stats.summary()
+
+    @pytest.mark.parametrize("name", ["fibonacci", "loop-sum", "factorial",
+                                      "tailcall"])
+    def test_observer_event_streams_identical(self, name):
+        benchmark = get_benchmark(name)
+        program = _compile_benchmark(name)
+        fast, ref, fast_events, ref_events = _run_both(
+            program, observers=True, input_values=benchmark.inputs)
+        assert fast_events == ref_events, f"event streams diverged on {name}"
+
+    def test_cpu_timing_model_identical(self):
+        from repro.cpu import CpuTimingModel
+
+        program = _compile_benchmark("fibonacci")
+        fast_cpu, ref_cpu = CpuTimingModel(), CpuTimingModel()
+        Machine(program, observers=[fast_cpu]).run()
+        ReferenceMachine(program, observers=[ref_cpu]).run()
+        assert fast_cpu.finalize() == ref_cpu.finalize()
+
+
+class TestSegmentPaging:
+    SOURCE = """
+    global big[2048];
+    fn main() -> int {
+      var i;
+      for (i = 0; i < 2048; i = i + 32) { big[i] = i + big[i % 64]; }
+      return big[0];
+    }
+    """
+
+    @pytest.mark.parametrize("segment_size", [7, 100, 999, 1 << 16])
+    def test_partial_trailing_segment_pages_correctly(self, segment_size):
+        """Instruction counts that are not a multiple of segment_size must
+        still flush the trailing partial segment exactly once."""
+        program = compile_module(compile_source(self.SOURCE))
+        fast = Machine(program, segment_size=segment_size)
+        ref = ReferenceMachine(program, segment_size=segment_size)
+        fast.run()
+        ref.run()
+        _assert_machines_identical(fast, ref, f"segment_size={segment_size}")
+        assert fast.page_in_events > 0
+
+    def test_instruction_limit_parity(self):
+        source = "fn main() -> int { while (1) { } return 0; }"
+        program = compile_module(compile_source(source))
+        fast = Machine(program, max_instructions=1000)
+        ref = ReferenceMachine(program, max_instructions=1000)
+        with pytest.raises(EmulationError):
+            fast.run()
+        with pytest.raises(EmulationError):
+            ref.run()
+        assert fast.stats.instructions == ref.stats.instructions == 1000
+        assert fast.stats.opcode_counts == ref.stats.opcode_counts
+
+
+class TestUnresolvedTargets:
+    """Faulting control transfers must leave identical partial traces."""
+
+    @pytest.mark.parametrize("body", [
+        [_instr("li", "t0", 1), _instr("j", "nowhere")],
+        [_instr("li", "t0", 1), _instr("call", "missing")],
+        [_instr("li", "t0", 1), _instr("jal", "t1", "nowhere")],
+        [_instr("li", "t0", 1), _instr("beqz", "zero", "nowhere")],
+        [_instr("li", "t0", 1), _instr("bne", "t0", "zero", "nowhere")],
+        [_instr("li", "t0", 1), _instr("ebreak")],
+    ], ids=["j", "call", "jal", "beqz-taken", "bne-taken", "ebreak"])
+    def test_pre_fault_side_effects_match_reference(self, body):
+        program = AssemblyProgram(functions={
+            "main": AssemblyFunction("main", list(body))})
+        fast = Machine(program)
+        ref = ReferenceMachine(program)
+        with pytest.raises(EmulationError) as fast_exc:
+            fast.run()
+        with pytest.raises(EmulationError) as ref_exc:
+            ref.run()
+        assert str(fast_exc.value) == str(ref_exc.value)
+        assert fast.stats == ref.stats
+        for name in ("t0", "t1", "ra"):
+            assert fast.get(name) == ref.get(name), name
+
+    def test_malformed_dead_code_does_not_fault_at_decode(self):
+        # The reference only inspects operands when an instruction executes;
+        # a malformed instruction in a never-called helper must not break
+        # decoding (or the run).
+        program = AssemblyProgram(functions={
+            "main": AssemblyFunction("main", [
+                _instr("li", "a0", 3),
+                _instr("jalr", "zero", "ra", 0),
+            ]),
+            "dead": AssemblyFunction("dead", [
+                _instr("add", "t0", "t1"),            # missing an operand
+                _instr("mv", "a0", 123),              # non-string register
+            ]),
+        })
+        fast, ref, _, _ = _run_both(program)
+        _assert_machines_identical(fast, ref, "with malformed dead code")
+        assert fast.stats.return_value == 3
+
+    def test_malformed_instruction_faults_only_when_executed(self):
+        program = AssemblyProgram(functions={
+            "main": AssemblyFunction("main", [
+                _instr("li", "t0", 1),
+                _instr("add", "t0", "t1"),            # executes: must fault
+            ])})
+        fast = Machine(program)                       # decode must succeed
+        ref = ReferenceMachine(program)
+        with pytest.raises(ValueError):
+            fast.run()
+        with pytest.raises(ValueError):
+            ref.run()
+        # Both counted the li and the faulting add before raising.
+        assert fast.stats.instructions == ref.stats.instructions == 2
+
+    def test_not_taken_branch_to_unknown_label_does_not_fault(self):
+        # The reference only resolves a branch label when the branch is
+        # taken; a never-taken branch to a bogus label must run to completion.
+        body = [
+            _instr("li", "t0", 1),
+            _instr("beqz", "t0", "nowhere"),
+            _instr("bne", "t0", "t0", "nowhere"),
+            _instr("li", "a0", 5),
+            _instr("jalr", "zero", "ra", 0),
+        ]
+        program = AssemblyProgram(functions={
+            "main": AssemblyFunction("main", body)})
+        fast, ref, _, _ = _run_both(program)
+        _assert_machines_identical(fast, ref, "never-taken unresolved branch")
+        assert fast.stats.return_value == 5
+
+
+class TestDecodePipeline:
+    def test_decoded_program_cached_per_program(self):
+        program = _compile_benchmark("fibonacci")
+        assert decode_program(program) is decode_program(program)
+        assert Machine(program).decoded is Machine(program).decoded
+
+    def test_runner_reuses_compiled_programs(self):
+        from repro.experiments.profiles import Profile, baseline_profile
+        from repro.experiments.runner import BenchmarkRunner
+
+        runner = BenchmarkRunner()
+        first = runner.compile("fibonacci", baseline_profile())
+        again = runner.compile("fibonacci", baseline_profile())
+        assert first is again
+        # Content-equal profiles share one compiled (and decoded) program
+        # regardless of display name.
+        renamed = Profile(name="candidate-0", passes=(), kind="custom")
+        assert runner.compile("fibonacci", renamed) is first
+        assert runner.compile("fibonacci", baseline_profile(),
+                              use_cache=False) is not first
+
+    def test_prepared_immediates_match_reference_semantics(self):
+        """Decode-time immediate preparation must be observationally equal to
+        the reference's raw-immediate application for every opcode."""
+        values = [0, 1, 5, 31, 32, 1234, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFE,
+                  0xFFFFFFFF]
+        immediates = [-2048, -33, -32, -7, -1, 0, 1, 5, 31, 32, 100, 2047]
+        for opcode, (prepare, apply) in _ALU_IMM_DECODED.items():
+            raw = ALU_IMM_IMPLS[opcode]
+            for a in values:
+                for imm in immediates:
+                    assert apply(a, prepare(imm)) == raw(a, imm), \
+                        f"{opcode}(a={a:#x}, imm={imm})"
+
+    def test_unknown_register_names_get_fresh_slots(self):
+        # The reference treats any unknown name as a fresh zero register;
+        # the decoder must intern such names instead of rejecting them.
+        body = [
+            _instr("li", "myreg", 9),
+            _instr("mv", "a0", "myreg"),
+            _instr("jalr", "zero", "ra", 0),
+        ]
+        program = AssemblyProgram(functions={
+            "main": AssemblyFunction("main", body)})
+        fast, ref, _, _ = _run_both(program)
+        _assert_machines_identical(fast, ref, "with interned custom register")
+        assert fast.stats.return_value == 9
