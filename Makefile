@@ -6,13 +6,15 @@
 #   make bench-engine    serial vs parallel vs warm-cache wall-time report
 #   make bench-emulator  fast vs reference interpreter Minstr/s; writes
 #                        BENCH_emulator.json (perf trajectory across PRs)
+#   make bench-passes    cached vs seed pass-pipeline compile time; writes
+#                        BENCH_passes.json (1.5x bar enforced)
 #   make bench           full pytest-benchmark harness (slow)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-engine figures-smoke bench-engine bench-emulator bench \
-	clean-cache
+.PHONY: test test-engine figures-smoke bench-engine bench-emulator \
+	bench-passes bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -33,6 +35,13 @@ bench-engine:
 # Fails if the pre-decoded fast path drops below 3x the seed interpreter.
 bench-emulator:
 	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json
+
+# Fails if the invalidation-aware pipeline drops below 1.5x the preserved
+# seed pass manager (override: make bench-passes BENCH_PASSES_BAR=1.2).
+BENCH_PASSES_BAR ?= 1.5
+bench-passes:
+	$(PYTHON) benchmarks/bench_passes.py --json BENCH_passes.json \
+		--min-speedup $(BENCH_PASSES_BAR)
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

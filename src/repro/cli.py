@@ -14,6 +14,9 @@ content-addressed on-disk cache afterwards:
 * ``repro figure N``       — regenerate paper figure N (3,4,5,6,7,8,9,14,15).
 * ``repro table N``        — regenerate paper table N (1,2,3,6).
 * ``repro autotune BENCH`` — run the genetic autotuner, generations batched.
+* ``repro passes BENCH..`` — show a profile's pass pipeline; with ``--time``,
+  compile the benchmarks and report per-pass wall time plus analysis-cache
+  activity (computed/hits/invalidated/drifted/skipped).
 * ``repro list KIND``      — enumerate benchmarks/suites/profiles/figures/tables.
 
 Global flags (before the subcommand) select the worker count, the cache
@@ -89,6 +92,7 @@ def _make_engine(args):
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_disk_cache=not args.no_disk_cache,
+        analysis_cache=not args.no_analysis_cache,
     )
 
 
@@ -315,6 +319,68 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _cmd_passes(args) -> int:
+    from .analysis.reporting import format_table
+    from .passes import PassManager
+
+    profile = _resolve_profile(args.profile)
+    if not args.time:
+        if args.json:
+            _emit({"profile": profile.name, "passes": list(profile.passes)},
+                  as_json=True)
+        else:
+            for index, name in enumerate(profile.passes):
+                print(f"{index:3d}  {name}")
+        return 0
+
+    engine = _make_engine(args)
+    benchmarks = _resolve_benchmarks(args.benchmarks or ["all"])
+    # One slot per pipeline position, aggregated across the benchmarks.
+    slots: list[dict] = [
+        {"name": name, "seconds": 0.0, "changed": 0,
+         "computed": 0, "hits": 0, "invalidated": 0, "drifted": 0,
+         "skipped": 0}
+        for name in profile.passes
+    ]
+    for benchmark_name in benchmarks:
+        module = engine.frontend_module(benchmark_name).clone()
+        manager = PassManager(profile.passes, profile.config,
+                              analysis_cache=not args.no_analysis_cache)
+        manager.run(module)
+        for timing in manager.timings:
+            slot = slots[timing.index]
+            slot["seconds"] += timing.seconds
+            slot["changed"] += int(timing.changed)
+            for key in ("computed", "hits", "invalidated", "drifted", "skipped"):
+                slot[key] += getattr(timing.analysis, key)
+
+    if args.json:
+        _emit({"profile": profile.name, "benchmarks": benchmarks,
+               "analysis_cache": not args.no_analysis_cache, "slots": slots},
+              as_json=True)
+        return 0
+    rows = [[index, slot["name"], f"{slot['seconds'] * 1000:.2f}",
+             slot["changed"], slot["computed"], slot["hits"],
+             slot["invalidated"], slot["drifted"], slot["skipped"]]
+            for index, slot in enumerate(slots)]
+    total = sum(slot["seconds"] for slot in slots)
+    rows.append(["", "TOTAL", f"{total * 1000:.2f}",
+                 sum(s["changed"] for s in slots),
+                 sum(s["computed"] for s in slots),
+                 sum(s["hits"] for s in slots),
+                 sum(s["invalidated"] for s in slots),
+                 sum(s["drifted"] for s in slots),
+                 sum(s["skipped"] for s in slots)])
+    print(format_table(
+        ["#", "pass", "total ms", "changed", "computed", "hits",
+         "invalidated", "drifted", "skipped"],
+        rows,
+        title=f"Pass pipeline timing — {profile.name} over "
+              f"{len(benchmarks)} benchmark(s), analysis cache "
+              f"{'on' if not args.no_analysis_cache else 'off'}"))
+    return 0
+
+
 def _cmd_list(args) -> int:
     from .benchmarks import all_benchmark_names, benchmarks_in_suite, suites
     from .experiments.profiles import all_study_profiles, zkvm_aware_profile
@@ -350,6 +416,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CACHE_DIR or ~/.cache/repro/measurements)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="keep measurements in memory only")
+    parser.add_argument("--no-analysis-cache", action="store_true",
+                        help="recompute every pass-pipeline analysis from "
+                             "scratch (the seed pass manager's behaviour; "
+                             "used for differential testing)")
     parser.add_argument("--max-instructions", type=int, default=20_000_000,
                         help="emulator instruction budget per run")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -404,6 +474,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--zkvm", choices=["risc0", "sp1"], default="risc0")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_autotune)
+
+    p = sub.add_parser("passes", help="inspect/time a profile's pass pipeline")
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmark names, suite names, or 'all' "
+                        "(only used with --time; default: all)")
+    p.add_argument("--profile", default="-O3",
+                   help="optimization profile (default: -O3)")
+    p.add_argument("--time", action="store_true",
+                   help="compile the benchmarks and report per-pass wall "
+                        "time and analysis-cache activity")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_passes)
 
     p = sub.add_parser("list", help="enumerate available inputs")
     p.add_argument("kind", choices=["benchmarks", "suites", "profiles",

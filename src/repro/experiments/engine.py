@@ -45,17 +45,19 @@ def _compute_measurement_job(job) -> Measurement:
     """Pool worker entry point: compute one measurement from scratch.
 
     ``job`` is ``(benchmark_name, profile, max_instructions, verify,
-    program_cache_size)``.  Runs in a separate process; the only state shared
-    with the parent is the picklable job tuple and the returned
-    :class:`Measurement`.
+    program_cache_size, analysis_cache)``.  Runs in a separate process; the
+    only state shared with the parent is the picklable job tuple and the
+    returned :class:`Measurement`.
     """
-    benchmark_name, profile, max_instructions, verify, program_cache_size = job
-    key = (max_instructions, verify, program_cache_size)
+    (benchmark_name, profile, max_instructions, verify,
+     program_cache_size, analysis_cache) = job
+    key = (max_instructions, verify, program_cache_size, analysis_cache)
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
         runner = _WORKER_RUNNERS[key] = BenchmarkRunner(
             max_instructions=max_instructions, verify=verify,
-            program_cache_size=program_cache_size)
+            program_cache_size=program_cache_size,
+            analysis_cache=analysis_cache)
     return runner.measure(benchmark_name, profile, use_cache=False)
 
 
@@ -110,9 +112,11 @@ class ExperimentEngine(BenchmarkRunner):
                  cache_dir: Optional[os.PathLike] = None,
                  use_disk_cache: bool = True,
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
-                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE):
+                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE,
+                 analysis_cache: bool = True):
         super().__init__(max_instructions=max_instructions, verify=verify,
-                         program_cache_size=program_cache_size)
+                         program_cache_size=program_cache_size,
+                         analysis_cache=analysis_cache)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if cache is None and use_disk_cache:
             cache = MeasurementCache(cache_dir)
@@ -213,7 +217,8 @@ class ExperimentEngine(BenchmarkRunner):
             keys = list(pending)
             jobs = [(pairs[pending[key][0]][0], pairs[pending[key][0]][1],
                      self.max_instructions, self.verify,
-                     self.program_cache_size) for key in keys]
+                     self.program_cache_size, self.analysis_cache)
+                    for key in keys]
             for key, outcome in zip(keys, self._compute_batch(jobs)):
                 if isinstance(outcome, Exception):
                     self.stats.errors += 1

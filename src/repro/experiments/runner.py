@@ -117,10 +117,14 @@ class BenchmarkRunner:
     """
 
     def __init__(self, max_instructions: int = 20_000_000, verify: bool = False,
-                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE):
+                 program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE,
+                 analysis_cache: bool = True):
         self.max_instructions = max_instructions
         self.verify = verify
         self.program_cache_size = program_cache_size
+        #: False routes every compile through the ``--no-analysis-cache``
+        #: escape hatch (the seed-semantics recompute-everything pipeline).
+        self.analysis_cache = analysis_cache
         self._source_cache: dict[str, Module] = {}
         self._measure_cache: dict[tuple[str, str], Measurement] = {}
         self._program_cache: dict[str, object] = {}
@@ -153,7 +157,8 @@ class BenchmarkRunner:
                 return program
         module = self.frontend_module(benchmark_name).clone()
         if profile.passes:
-            PassManager(profile.passes, profile.config).run(module)
+            PassManager(profile.passes, profile.config,
+                        analysis_cache=self.analysis_cache).run(module)
         if self.verify:
             verify_module(module)
         program = compile_module(module, profile.cost_model)

@@ -21,9 +21,10 @@ from .module import Module
 from .builder import IRBuilder
 from .printer import format_function, format_instruction, format_module
 from .verifier import VerificationError, verify_function, verify_module
+from .analysis_cache import cfg_cache_disabled, cfg_cache_enabled
 from .cfg import (
-    postorder, predecessors_map, reachable_blocks, remove_unreachable_blocks,
-    reverse_postorder,
+    OrderedSet, postorder, predecessors_map, reachable_blocks,
+    remove_unreachable_blocks, reverse_postorder,
 )
 from .dominators import DominatorTree, dominance_frontiers
 from .loops import Loop, LoopInfo
@@ -39,6 +40,7 @@ __all__ = [
     "BasicBlock", "Function", "Module", "IRBuilder",
     "format_function", "format_instruction", "format_module",
     "VerificationError", "verify_function", "verify_module",
+    "OrderedSet", "cfg_cache_disabled", "cfg_cache_enabled",
     "postorder", "predecessors_map", "reachable_blocks",
     "remove_unreachable_blocks", "reverse_postorder",
     "DominatorTree", "dominance_frontiers", "Loop", "LoopInfo",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from .analysis_cache import cfg_cache_enabled
 from .instructions import Branch, CondBranch, Instruction, Phi
 from .values import Value
 
@@ -25,11 +26,23 @@ class BasicBlock(Value):
     def append(self, instruction: Instruction) -> Instruction:
         self.instructions.append(instruction)
         instruction.parent = self
+        function = self.parent
+        if function is not None:
+            if instruction.is_terminator:
+                function.invalidate_cfg()
+            else:
+                function._ir_version += 1
         return instruction
 
     def insert(self, index: int, instruction: Instruction) -> Instruction:
         self.instructions.insert(index, instruction)
         instruction.parent = self
+        function = self.parent
+        if function is not None:
+            if instruction.is_terminator:
+                function.invalidate_cfg()
+            else:
+                function._ir_version += 1
         return instruction
 
     def insert_before_terminator(self, instruction: Instruction) -> Instruction:
@@ -41,6 +54,12 @@ class BasicBlock(Value):
     def remove_instruction(self, instruction: Instruction) -> None:
         self.instructions.remove(instruction)
         instruction.parent = None
+        function = self.parent
+        if function is not None:
+            if instruction.is_terminator:
+                function.invalidate_cfg()
+            else:
+                function._ir_version += 1
 
     def __iter__(self) -> Iterator[Instruction]:
         return iter(list(self.instructions))
@@ -57,15 +76,32 @@ class BasicBlock(Value):
 
     @property
     def successors(self) -> list["BasicBlock"]:
-        term = self.terminator
-        if term is None:
-            return []
-        return list(getattr(term, "successors", []))
+        instructions = self.instructions
+        if instructions:
+            last = instructions[-1]
+            if last.is_terminator:
+                # Every terminator class defines ``successors`` and returns a
+                # fresh list, so no defensive copy is needed here.
+                return last.successors
+        return []
 
     @property
     def predecessors(self) -> list["BasicBlock"]:
         if self.parent is None:
             return []
+        if cfg_cache_enabled():
+            preds = self.parent.predecessors_map().get(self)
+            if preds is not None:
+                # The map lists a predecessor once per edge; this query lists
+                # each predecessor block once.  Duplicate edges from one block
+                # (a CondBranch with equal targets) are adjacent in the map.
+                deduped: list["BasicBlock"] = []
+                for pred in preds:
+                    if not deduped or deduped[-1] is not pred:
+                        deduped.append(pred)
+                return deduped
+            # Not a member of parent.blocks (detached/in-flight block): fall
+            # through to the direct scan, which handles that case too.
         preds = []
         for block in self.parent.blocks:
             if self in block.successors:

@@ -2,8 +2,49 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
+from .analysis_cache import cfg_cache_enabled
 from .basic_block import BasicBlock
 from .function import Function
+
+
+class OrderedSet:
+    """An insertion-ordered set of identity-hashed IR objects.
+
+    Plain ``set`` iteration over blocks/instructions depends on object
+    addresses, which made the pass pipeline's *output layout* differ between
+    two runs over clones of the same module (e.g. the block emission order of
+    the loop unroller).  Analyses and passes that iterate block sets use this
+    instead, keeping compiles byte-reproducible — a prerequisite for the
+    cached-vs-fresh pipeline differential tests.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable = ()):
+        self._items = dict.fromkeys(items)
+
+    def add(self, item) -> None:
+        self._items[item] = None
+
+    def discard(self, item) -> None:
+        self._items.pop(item, None)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OrderedSet({list(self._items)!r})"
 
 
 def successors(block: BasicBlock) -> list[BasicBlock]:
@@ -11,17 +52,21 @@ def successors(block: BasicBlock) -> list[BasicBlock]:
 
 
 def predecessors_map(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
-    """Compute a predecessor map for every block in one pass over the CFG."""
-    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in function.blocks}
-    for block in function.blocks:
-        for succ in block.successors:
-            if succ in preds:
-                preds[succ].append(block)
-    return preds
+    """The predecessor map of every block, answered from the function's
+    CFG-version-validated cache (recomputed from scratch when the cache is
+    globally disabled).  Callers must not mutate the returned lists."""
+    return function.predecessors_map()
 
 
 def reachable_blocks(function: Function) -> set[BasicBlock]:
-    """Blocks reachable from the entry block."""
+    """Blocks reachable from the entry block.
+
+    Cached on the function and validated against its CFG version (recomputed
+    from scratch when the caches are globally disabled).  Callers must not
+    mutate the returned set."""
+    cache = cfg_cache_enabled()
+    if cache and function._reach_version == function._cfg_version:
+        return function._reach_set
     if not function.blocks:
         return set()
     seen: set[BasicBlock] = set()
@@ -32,6 +77,9 @@ def reachable_blocks(function: Function) -> set[BasicBlock]:
             continue
         seen.add(block)
         worklist.extend(block.successors)
+    if cache:
+        function._reach_set = seen
+        function._reach_version = function._cfg_version
     return seen
 
 

@@ -25,47 +25,48 @@ def _map_value(value: Value, value_map: ValueMap) -> Value:
     return value_map.get(value, value)
 
 
+_CLONERS = {
+    BinaryOp: lambda inst, m, b: BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), inst.name),
+    ICmp: lambda inst, m, b: ICmp(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name),
+    Select: lambda inst, m, b: Select(m(inst.condition), m(inst.true_value),
+                                      m(inst.false_value), inst.name),
+    Alloca: lambda inst, m, b: Alloca(inst.allocated_type, inst.count, inst.name),
+    Load: lambda inst, m, b: Load(m(inst.pointer), inst.loaded_type, inst.name),
+    Store: lambda inst, m, b: Store(m(inst.value), m(inst.pointer)),
+    GEP: lambda inst, m, b: GEP(m(inst.base), m(inst.index), inst.element_size, inst.name),
+    Branch: lambda inst, m, b: Branch(b(inst.target)),
+    CondBranch: lambda inst, m, b: CondBranch(m(inst.condition), b(inst.true_target),
+                                              b(inst.false_target)),
+    Ret: lambda inst, m, b: Ret(m(inst.value) if inst.value is not None else None),
+    Unreachable: lambda inst, m, b: Unreachable(),
+    Call: lambda inst, m, b: Call(inst.callee, [m(a) for a in inst.args],
+                                  inst.type, inst.name),
+    Cast: lambda inst, m, b: Cast(inst.opcode, m(inst.value), inst.type, inst.name),
+}
+
+
+def _clone_phi(inst: Phi, m, b) -> Phi:
+    phi = Phi(inst.type, inst.name)
+    for value, block in inst.incoming:
+        phi.add_incoming(m(value), b(block))
+    return phi
+
+
+_CLONERS[Phi] = _clone_phi
+
+
 def clone_instruction(inst: Instruction, value_map: ValueMap,
                       block_map: BlockMap) -> Instruction:
     """Clone ``inst``, remapping operands through ``value_map`` and branch
     targets through ``block_map``.  Phi incoming values are remapped, but the
     caller is responsible for fixing them up if cloning an entire region
     (values defined later may not be in the map yet)."""
-    m = lambda v: _map_value(v, value_map)
-    b = lambda blk: block_map.get(blk, blk)
-
-    if isinstance(inst, BinaryOp):
-        return BinaryOp(inst.opcode, m(inst.lhs), m(inst.rhs), inst.name)
-    if isinstance(inst, ICmp):
-        return ICmp(inst.predicate, m(inst.lhs), m(inst.rhs), inst.name)
-    if isinstance(inst, Select):
-        return Select(m(inst.condition), m(inst.true_value), m(inst.false_value), inst.name)
-    if isinstance(inst, Alloca):
-        return Alloca(inst.allocated_type, inst.count, inst.name)
-    if isinstance(inst, Load):
-        return Load(m(inst.pointer), inst.loaded_type, inst.name)
-    if isinstance(inst, Store):
-        return Store(m(inst.value), m(inst.pointer))
-    if isinstance(inst, GEP):
-        return GEP(m(inst.base), m(inst.index), inst.element_size, inst.name)
-    if isinstance(inst, Branch):
-        return Branch(b(inst.target))
-    if isinstance(inst, CondBranch):
-        return CondBranch(m(inst.condition), b(inst.true_target), b(inst.false_target))
-    if isinstance(inst, Ret):
-        return Ret(m(inst.value) if inst.value is not None else None)
-    if isinstance(inst, Unreachable):
-        return Unreachable()
-    if isinstance(inst, Call):
-        return Call(inst.callee, [m(a) for a in inst.args], inst.type, inst.name)
-    if isinstance(inst, Cast):
-        return Cast(inst.opcode, m(inst.value), inst.type, inst.name)  # type: ignore[arg-type]
-    if isinstance(inst, Phi):
-        phi = Phi(inst.type, inst.name)
-        for value, block in inst.incoming:
-            phi.add_incoming(m(value), b(block))
-        return phi
-    raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")
+    cloner = _CLONERS.get(type(inst))
+    if cloner is None:
+        raise TypeError(f"cannot clone instruction of type {type(inst).__name__}")
+    return cloner(inst,
+                  lambda v: value_map.get(v, v),
+                  lambda blk: block_map.get(blk, blk))
 
 
 def clone_function_body(source: Function, target: Function,
@@ -83,6 +84,7 @@ def clone_function_body(source: Function, target: Function,
         new_block = BasicBlock(block.name, target)
         target.blocks.append(new_block)
         block_map[block] = new_block
+    target.invalidate_cfg()
 
     phi_fixups: list[tuple[Phi, Phi]] = []
     for block in source.blocks:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from .basic_block import BasicBlock
-from .cfg import predecessors_map, reverse_postorder
+from .cfg import OrderedSet, predecessors_map, reverse_postorder
 from .function import Function
 from .instructions import Instruction, Phi
 from .values import Value
@@ -102,11 +102,14 @@ class DominatorTree:
 
 
 def dominance_frontiers(function: Function,
-                        domtree: DominatorTree | None = None) -> dict[BasicBlock, set[BasicBlock]]:
-    """Compute the dominance frontier of every block (used by mem2reg)."""
+                        domtree: DominatorTree | None = None) -> dict[BasicBlock, OrderedSet]:
+    """Compute the dominance frontier of every block (used by mem2reg).
+
+    Frontier sets are insertion-ordered so phi placement iterates them
+    deterministically."""
     domtree = domtree or DominatorTree(function)
     preds = predecessors_map(function)
-    frontiers: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in function.blocks}
+    frontiers: dict[BasicBlock, OrderedSet] = {b: OrderedSet() for b in function.blocks}
     for block in domtree.rpo:
         block_preds = preds.get(block, [])
         if len(block_preds) < 2:

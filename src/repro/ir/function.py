@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from .analysis_cache import cfg_cache_enabled
 from .basic_block import BasicBlock
 from .instructions import Instruction
 from .types import Type, I32
@@ -32,6 +33,19 @@ class Function(Value):
         # Function attributes honoured by the pass pipeline.
         self.attributes: set[str] = set()
         self._name_counter = 0
+        # CFG-metadata cache: bumped by every mutation that can change the
+        # block graph (terminator insertion/removal, branch retargeting, block
+        # membership).  Analyses validate against it before reusing results.
+        self._cfg_version = 0
+        self._preds_version = -1
+        self._preds_map: dict[BasicBlock, list[BasicBlock]] = {}
+        self._reach_version = -1
+        self._reach_set: set[BasicBlock] = set()
+        # IR mutation epoch: bumped by *every* semantic mutation (instruction
+        # insertion/removal, operand rewires, phi edits, CFG changes).  Lets
+        # the pass manager skip re-running a self-contained pass that already
+        # proved itself a no-op on this exact IR.
+        self._ir_version = 0
 
     # -- structure ---------------------------------------------------------
     @property
@@ -50,6 +64,7 @@ class Function(Value):
             self.blocks.append(block)
         else:
             self.blocks.insert(self.blocks.index(after) + 1, block)
+        self.invalidate_cfg()
         return block
 
     def remove_block(self, block: BasicBlock) -> None:
@@ -57,6 +72,42 @@ class Function(Value):
             inst.drop_all_references()
         self.blocks.remove(block)
         block.parent = None
+        self.invalidate_cfg()
+
+    # -- CFG metadata ------------------------------------------------------
+    @property
+    def cfg_version(self) -> int:
+        """Monotonic counter identifying the current block-graph shape."""
+        return self._cfg_version
+
+    @property
+    def ir_version(self) -> int:
+        """Monotonic counter identifying the function's entire IR state."""
+        return self._ir_version
+
+    def invalidate_cfg(self) -> None:
+        """Record that the block graph (nodes or edges) may have changed."""
+        self._cfg_version += 1
+        self._ir_version += 1
+
+    def predecessors_map(self) -> dict[BasicBlock, list[BasicBlock]]:
+        """The predecessor lists of every member block, cached by CFG version.
+
+        Mirrors :func:`repro.ir.cfg.predecessors_map` exactly (predecessors
+        appear in block order; a conditional branch with identical targets
+        contributes its block twice).  The map is rebuilt lazily whenever the
+        CFG version has moved; callers must not mutate the returned lists.
+        """
+        if self._preds_version == self._cfg_version and cfg_cache_enabled():
+            return self._preds_map
+        preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ in preds:
+                    preds[succ].append(block)
+        self._preds_map = preds
+        self._preds_version = self._cfg_version
+        return self._preds_map
 
     def unique_name(self, base: str) -> str:
         self._name_counter += 1

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from .types import IntType, Type, I1, I32, PTR, VOID
+from .types import IntType, Type, VoidType, I1, I32, PTR, VOID
 from .values import Constant, User, Value
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,32 +34,22 @@ class Instruction(User):
 
     opcode = "<abstract>"
 
+    # Classification flags consulted throughout the pass pipeline.  They are
+    # class attributes (overridden by the relevant subclasses) rather than
+    # isinstance-chain properties because passes query them millions of times
+    # per pipeline run.
+    is_terminator = False
+    has_side_effects = False
+    may_read_memory = False
+    may_write_memory = False
+
     def __init__(self, type_: Type, operands: Sequence[Value] = (), name: str = ""):
         super().__init__(type_, name)
         self.parent: Optional["BasicBlock"] = None
+        # Plain attribute (types never change after construction): queried on
+        # nearly every instruction visit in the pass pipeline.
+        self.has_result = not isinstance(type_, VoidType)
         self.set_operands(operands)
-
-    # -- classification helpers used throughout the pass pipeline ---------
-    @property
-    def is_terminator(self) -> bool:
-        return isinstance(self, (Branch, CondBranch, Ret, Unreachable))
-
-    @property
-    def has_result(self) -> bool:
-        return not isinstance(self.type, type(VOID))
-
-    @property
-    def has_side_effects(self) -> bool:
-        """Whether this instruction writes memory or transfers control."""
-        return isinstance(self, (Store, Call, Ret, Branch, CondBranch, Unreachable))
-
-    @property
-    def may_read_memory(self) -> bool:
-        return isinstance(self, (Load, Call))
-
-    @property
-    def may_write_memory(self) -> bool:
-        return isinstance(self, (Store, Call))
 
     @property
     def may_trap(self) -> bool:
@@ -187,6 +177,7 @@ class Load(Instruction):
     """Load a scalar of ``loaded_type`` from a pointer."""
 
     opcode = "load"
+    may_read_memory = True
 
     def __init__(self, pointer: Value, loaded_type: Type = I32, name: str = ""):
         self.loaded_type = loaded_type
@@ -204,6 +195,8 @@ class Store(Instruction):
     """Store a scalar value to a pointer."""
 
     opcode = "store"
+    has_side_effects = True
+    may_write_memory = True
 
     def __init__(self, value: Value, pointer: Value):
         super().__init__(VOID, [value, pointer])
@@ -245,6 +238,8 @@ class Branch(Instruction):
     """Unconditional branch."""
 
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, target: "BasicBlock"):
         self.target = target
@@ -257,6 +252,7 @@ class Branch(Instruction):
     def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
         if self.target is old:
             self.target = new
+            _invalidate_cfg_of(self)
 
     def clone(self) -> "Branch":
         return Branch(self.target)
@@ -266,6 +262,8 @@ class CondBranch(Instruction):
     """Conditional branch on an i1 condition."""
 
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, condition: Value, true_target: "BasicBlock", false_target: "BasicBlock"):
         self.true_target = true_target
@@ -281,10 +279,12 @@ class CondBranch(Instruction):
         return [self.true_target, self.false_target]
 
     def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
-        if self.true_target is old:
-            self.true_target = new
-        if self.false_target is old:
-            self.false_target = new
+        if self.true_target is old or self.false_target is old:
+            if self.true_target is old:
+                self.true_target = new
+            if self.false_target is old:
+                self.false_target = new
+            _invalidate_cfg_of(self)
 
     def clone(self) -> "CondBranch":
         return CondBranch(self.condition, self.true_target, self.false_target)
@@ -294,6 +294,8 @@ class Ret(Instruction):
     """Return from the current function, optionally with a value."""
 
     opcode = "ret"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, value: Optional[Value] = None):
         super().__init__(VOID, [value] if value is not None else [])
@@ -315,6 +317,8 @@ class Unreachable(Instruction):
     """Marks unreachable control flow (e.g. after a call to abort)."""
 
     opcode = "unreachable"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self) -> None:
         super().__init__(VOID, [])
@@ -331,6 +335,9 @@ class Call(Instruction):
     """A direct call to another function in the module (by name)."""
 
     opcode = "call"
+    has_side_effects = True
+    may_read_memory = True
+    may_write_memory = True
 
     def __init__(self, callee: str, args: Sequence[Value], return_type: Type = I32, name: str = ""):
         self.callee = callee
@@ -357,6 +364,7 @@ class Phi(Instruction):
         self._operands.append(value)
         value.add_user(self)
         self.incoming_blocks.append(block)
+        self._note_mutation()
 
     @property
     def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
@@ -374,16 +382,30 @@ class Phi(Instruction):
                 value = self._operands.pop(i)
                 value.remove_user(self)
                 self.incoming_blocks.pop(i)
+                self._note_mutation()
                 return
 
     def replace_incoming_block(self, old: "BasicBlock", new: "BasicBlock") -> None:
         self.incoming_blocks = [new if b is old else b for b in self.incoming_blocks]
+        self._note_mutation()
 
     def clone(self) -> "Phi":
         phi = Phi(self.type, self.name)
         for value, block in self.incoming:
             phi.add_incoming(value, block)
         return phi
+
+
+def _invalidate_cfg_of(inst: Instruction) -> None:
+    """Bump the CFG version of the function an attached terminator lives in.
+
+    Retargeting a branch changes the edge set without adding or removing any
+    instruction, so it must notify the function's CFG-metadata cache directly
+    (see :meth:`repro.ir.function.Function.invalidate_cfg`).
+    """
+    block = inst.parent
+    if block is not None and block.parent is not None:
+        block.parent.invalidate_cfg()
 
 
 class Cast(Instruction):

@@ -240,15 +240,31 @@ class Interpreter:
 
     @staticmethod
     def _icmp(predicate: str, lhs: int, rhs: int) -> bool:
+        # Unsigned/equality predicates avoid the signed conversions entirely;
+        # this is one of the hottest scalar helpers in the pass pipeline
+        # (constant folding, SCCP, trip-count simulation).
+        if predicate == "eq":
+            return lhs == rhs
+        if predicate == "ne":
+            return lhs != rhs
+        if predicate == "ult":
+            return lhs < rhs
+        if predicate == "ule":
+            return lhs <= rhs
+        if predicate == "ugt":
+            return lhs > rhs
+        if predicate == "uge":
+            return lhs >= rhs
         slhs, srhs = _to_signed(lhs), _to_signed(rhs)
-        table = {
-            "eq": lhs == rhs, "ne": lhs != rhs,
-            "slt": slhs < srhs, "sle": slhs <= srhs,
-            "sgt": slhs > srhs, "sge": slhs >= srhs,
-            "ult": lhs < rhs, "ule": lhs <= rhs,
-            "ugt": lhs > rhs, "uge": lhs >= rhs,
-        }
-        return table[predicate]
+        if predicate == "slt":
+            return slhs < srhs
+        if predicate == "sle":
+            return slhs <= srhs
+        if predicate == "sgt":
+            return slhs > srhs
+        if predicate == "sge":
+            return slhs >= srhs
+        raise KeyError(predicate)
 
     @staticmethod
     def _cast(inst: Cast, value: int) -> int:

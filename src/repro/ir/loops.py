@@ -10,17 +10,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .basic_block import BasicBlock
-from .cfg import predecessors_map
+from .cfg import OrderedSet, predecessors_map
 from .dominators import DominatorTree
 from .function import Function
 
 
 @dataclass
 class Loop:
-    """A natural loop: a header plus the set of blocks that can reach the latch."""
+    """A natural loop: a header plus the set of blocks that can reach the latch.
+
+    ``blocks`` is an insertion-ordered set so every iteration over a loop's
+    body (hoisting, unrolling, cloning, ...) is deterministic and compiles
+    stay byte-reproducible.
+    """
 
     header: BasicBlock
-    blocks: set[BasicBlock] = field(default_factory=set)
+    blocks: OrderedSet = field(default_factory=OrderedSet)
     latches: list[BasicBlock] = field(default_factory=list)
     parent: "Loop | None" = None
     subloops: list["Loop"] = field(default_factory=list)
@@ -57,6 +62,35 @@ class Loop:
         """Blocks inside the loop with a successor outside the loop."""
         return [b for b in self.blocks
                 if any(s not in self.blocks for s in b.successors)]
+
+    def body_in_rpo(self) -> list[BasicBlock]:
+        """The loop's blocks in reverse post-order from the header.
+
+        Cloning transformations (unrolling, unswitching) must visit defs
+        before their cross-block uses so their value maps are populated in
+        time; iterating the bare ``blocks`` set visits blocks in discovery
+        order, which runs latch-backwards and broke that invariant.
+        """
+        visited = {self.header}
+        order: list[BasicBlock] = []
+        stack = [(self.header, iter(self.header.successors))]
+        while stack:
+            block, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ in self.blocks and succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        # Unreachable-from-header loop blocks cannot exist in a natural loop,
+        # but keep any stragglers rather than dropping them silently.
+        order.extend(b for b in self.blocks if b not in visited)
+        return order
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Loop(header={self.header.name}, blocks={len(self.blocks)}, depth={self.depth})"

@@ -56,6 +56,18 @@ class User(Value):
         super().__init__(type_, name)
         self._operands: list[Value] = []
 
+    def _note_mutation(self) -> None:
+        """Bump the owning function's IR epoch after an operand rewrite.
+
+        Users are instructions in practice; detached ones (not yet in a
+        block/function) have nothing to notify.
+        """
+        block = getattr(self, "parent", None)
+        if block is not None:
+            function = block.parent
+            if function is not None:
+                function._ir_version += 1
+
     @property
     def operands(self) -> list[Value]:
         return list(self._operands)
@@ -66,21 +78,27 @@ class User(Value):
         self._operands = list(operands)
         for op in self._operands:
             op.add_user(self)
+        self._note_mutation()
 
     def set_operand(self, index: int, value: Value) -> None:
         self._operands[index].remove_user(self)
         self._operands[index] = value
         value.add_user(self)
+        self._note_mutation()
 
     def get_operand(self, index: int) -> Value:
         return self._operands[index]
 
     def replace_operand(self, old: Value, new: Value) -> None:
+        replaced = False
         for i, op in enumerate(self._operands):
             if op is old:
                 self._operands[i] = new
                 old.remove_user(self)
                 new.add_user(self)
+                replaced = True
+        if replaced:
+            self._note_mutation()
 
     def drop_all_references(self) -> None:
         """Remove this user from the use lists of all of its operands."""

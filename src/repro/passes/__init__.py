@@ -6,9 +6,13 @@ addressed by name (``run_passes(module, ["licm"])``), and the preset levels
 :func:`repro.passes.pipelines.pipeline_for_level`.
 """
 
+from .analysis import (
+    ALL_ANALYSES, AnalysisManager, AnalysisStats, PRESERVE_ALL, PRESERVE_NONE,
+    StaleAnalysisError,
+)
 from .pass_manager import (
-    FunctionPass, ModulePass, Pass, PassConfig, PassManager, available_passes,
-    get_pass, register_pass, run_passes,
+    FunctionPass, ModulePass, Pass, PassConfig, PassManager, PassPipelineError,
+    PassTiming, available_passes, get_pass, register_pass, run_passes,
 )
 from .pipelines import (
     BASELINE, OPTIMIZATION_LEVELS, apply_zkvm_aware_overrides, config_for_level,
@@ -23,7 +27,10 @@ from . import (  # noqa: F401,E402
 )
 
 __all__ = [
+    "ALL_ANALYSES", "AnalysisManager", "AnalysisStats", "PRESERVE_ALL",
+    "PRESERVE_NONE", "StaleAnalysisError",
     "FunctionPass", "ModulePass", "Pass", "PassConfig", "PassManager",
+    "PassPipelineError", "PassTiming",
     "available_passes", "get_pass", "register_pass", "run_passes",
     "BASELINE", "OPTIMIZATION_LEVELS", "apply_zkvm_aware_overrides",
     "config_for_level", "pipeline_for_level",

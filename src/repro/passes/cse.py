@@ -17,8 +17,9 @@ from typing import Optional
 from ..ir import (
     Alloca, Argument, BasicBlock, BinaryOp, Call, Cast, Constant, DominatorTree,
     Function, GEP, GlobalVariable, ICmp, Instruction, Load, Module, Phi, Select,
-    Store, Value, COMMUTATIVE_OPS, reverse_postorder,
+    Store, Value, COMMUTATIVE_OPS,
 )
+from .analysis import PRESERVE_ALL, AnalysisManager
 from .pass_manager import FunctionPass, register_pass
 from .utils import replace_and_erase, underlying_object
 
@@ -70,10 +71,34 @@ class _ScopedTable:
         self.scopes[-1][key] = value
 
 
-def never_written_objects(function: Function) -> set[int]:
+def module_store_summary(module) -> tuple[set[int], set[int]]:
+    """(ids of globals written anywhere, ids of objects escaping via stores).
+
+    The module-wide half of :func:`never_written_objects`.  Load elimination
+    never adds/removes stores, so one summary stays valid for a whole GVN run
+    instead of rescanning every function per optimized function.
+    """
+    written_globals: set[int] = set()
+    escaped: set[int] = set()
+    for scanned in module.defined_functions():
+        for inst in scanned.instructions():
+            if isinstance(inst, Store):
+                target = underlying_object(inst.pointer)
+                if isinstance(target, GlobalVariable):
+                    written_globals.add(id(target))
+                escaped.add(id(underlying_object(inst.value)))
+    return written_globals, escaped
+
+
+def never_written_objects(function: Function,
+                          module_summary: Optional[tuple[set[int], set[int]]] = None
+                          ) -> set[int]:
     """ids of allocas/globals that are never stored to and never escape.
 
     Loads from such objects can be safely eliminated across basic blocks.
+    ``module_summary`` (see :func:`module_store_summary`) supplies the
+    module-wide global-write/escape sets; without one, only this function is
+    scanned (matching the seed's behaviour for module-less functions).
     """
     candidates: dict[int, Value] = {}
     for inst in function.instructions():
@@ -83,22 +108,17 @@ def never_written_objects(function: Function) -> set[int]:
         for gv in function.module.globals.values():
             candidates[id(gv)] = gv
 
-    written: set[int] = set()
-    escaped: set[int] = set()
-    # Globals can be written by any function in the module; scan them all.
-    scan_functions = [function]
-    if function.module is not None:
-        scan_functions = list(function.module.defined_functions())
-    for scanned in scan_functions:
-        for inst in scanned.instructions():
-            if isinstance(inst, Store):
-                target = underlying_object(inst.pointer)
-                if isinstance(target, GlobalVariable) or scanned is function:
-                    written.add(id(target))
-                escaped.add(id(underlying_object(inst.value)))
-            elif isinstance(inst, Call) and scanned is function:
-                for arg in inst.args:
-                    escaped.add(id(underlying_object(arg)))
+    if module_summary is None and function.module is not None:
+        module_summary = module_store_summary(function.module)
+    written: set[int] = set(module_summary[0]) if module_summary else set()
+    escaped: set[int] = set(module_summary[1]) if module_summary else set()
+    for inst in function.instructions():
+        if isinstance(inst, Store):
+            written.add(id(underlying_object(inst.pointer)))
+            escaped.add(id(underlying_object(inst.value)))
+        elif isinstance(inst, Call):
+            for arg in inst.args:
+                escaped.add(id(underlying_object(arg)))
     return {oid for oid in candidates if oid not in written and oid not in escaped}
 
 
@@ -140,14 +160,18 @@ def _block_local_load_cse(block: BasicBlock, safe_objects: set[int],
 
 
 def _dominator_scoped_cse(function: Function, eliminate_loads: bool,
-                          cross_block_loads: bool) -> bool:
+                          cross_block_loads: bool,
+                          analysis: Optional[AnalysisManager] = None,
+                          module_summary=None) -> bool:
     """Shared engine for early-cse and gvn."""
     if not function.blocks:
         return False
-    domtree = DominatorTree(function)
+    domtree = analysis.domtree(function) if analysis is not None \
+        else DominatorTree(function)
     expressions = _ScopedTable()
     changed = False
-    safe_objects = never_written_objects(function) if cross_block_loads else set()
+    safe_objects = never_written_objects(function, module_summary) \
+        if cross_block_loads else set()
     available_safe_loads: dict = {}
 
     def visit(block: BasicBlock) -> None:
@@ -186,21 +210,42 @@ class EarlyCSE(FunctionPass):
     """Fast dominator-scoped common-subexpression elimination."""
 
     name = "early-cse"
+    module_independent = True
     description = "Dominator-scoped CSE with block-local load elimination"
+    preserves = PRESERVE_ALL  # replaces/erases non-terminators only
 
     def run_on_function(self, function: Function, module: Module) -> bool:
-        return _dominator_scoped_cse(function, eliminate_loads=True, cross_block_loads=False)
+        return _dominator_scoped_cse(function, eliminate_loads=True,
+                                     cross_block_loads=False,
+                                     analysis=self.analysis)
 
 
 @register_pass
 class GVN(FunctionPass):
-    """Global value numbering with redundant-load elimination."""
+    """Global value numbering with redundant-load elimination.
+
+    Module-dependent (it consults the whole module's global writes), so it is
+    excluded from no-op skipping; the module-wide summary is computed once
+    per run — load elimination never changes the store set it summarizes.
+    """
 
     name = "gvn"
     description = "Global value numbering and load elimination"
+    preserves = PRESERVE_ALL  # replaces/erases non-terminators only
+
+    def run(self, module: Module) -> bool:
+        self._module_summary = module_store_summary(module)
+        try:
+            return super().run(module)
+        finally:
+            self._module_summary = None
 
     def run_on_function(self, function: Function, module: Module) -> bool:
-        return _dominator_scoped_cse(function, eliminate_loads=True, cross_block_loads=True)
+        summary = getattr(self, "_module_summary", None)
+        return _dominator_scoped_cse(function, eliminate_loads=True,
+                                     cross_block_loads=True,
+                                     analysis=self.analysis,
+                                     module_summary=summary)
 
 
 @register_pass
@@ -208,13 +253,17 @@ class NewGVN(FunctionPass):
     """RPO-based value numbering of pure expressions (no memory optimization)."""
 
     name = "newgvn"
+    module_independent = True
     description = "Value numbering of pure expressions over the whole function"
+    preserves = PRESERVE_ALL  # replaces/erases non-terminators only
 
     def run_on_function(self, function: Function, module: Module) -> bool:
+        if not function.blocks:
+            return False
         changed = False
-        domtree = DominatorTree(function)
+        domtree = self.analysis.domtree(function)
         leader: dict[tuple, Instruction] = {}
-        for block in reverse_postorder(function):
+        for block in domtree.rpo:
             for inst in list(block.instructions):
                 if inst.parent is None:
                     continue

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..ir import Branch, CondBranch, Function, Module, remove_unreachable_blocks
+from .analysis import PRESERVE_ALL
 from .pass_manager import FunctionPass, register_pass
 from .utils import is_trivially_dead
 
@@ -27,7 +28,9 @@ class DCE(FunctionPass):
     """Classic dead-code elimination."""
 
     name = "dce"
+    module_independent = True
     description = "Remove side-effect-free instructions whose results are unused"
+    preserves = PRESERVE_ALL  # terminators are never trivially dead
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         return eliminate_dead_code(function)
@@ -38,6 +41,7 @@ class ADCE(FunctionPass):
     """Aggressive DCE: dead instructions, unreachable blocks and degenerate branches."""
 
     name = "adce"
+    module_independent = True
     description = "Aggressive dead-code elimination"
 
     def run_on_function(self, function: Function, module: Module) -> bool:

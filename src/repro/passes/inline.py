@@ -101,6 +101,7 @@ def inline_call_site(site: Call, caller: Function, callee: Function) -> bool:
         cloned.name = caller.unique_name(f"{callee.name}.{cloned.name}")
         cloned.parent = caller
         caller.blocks.insert(insert_at + offset, cloned)
+    caller.invalidate_cfg()
 
     # Hoist the callee's allocas into the caller entry block.
     entry = caller.entry_block
@@ -149,10 +150,16 @@ def _call_sites(module: Module):
 
 
 class _InlinerBase(ModulePass):
-    """Shared driver for the inlining passes."""
+    """Shared driver for the inlining passes.
+
+    Inlining rewrites the *caller* only (the callee body is read, never
+    mutated), so the pass reports the exact callers it touched and the
+    analysis manager keeps every other function's analyses alive.
+    """
 
     always_only = False
     max_rounds = 4
+    tracks_modified = True
 
     def run(self, module: Module) -> bool:
         changed = False
@@ -166,6 +173,7 @@ class _InlinerBase(ModulePass):
                     continue
                 if should_inline(site, caller, callee, self.config, self.always_only):
                     if inline_call_site(site, caller, callee):
+                        self.note_modified(caller)
                         round_changed = True
             changed |= round_changed
             if not round_changed:
@@ -202,6 +210,7 @@ class PartialInliner(ModulePass):
 
     name = "partial-inliner"
     description = "Inline early-return guards of callees at their call sites"
+    tracks_modified = True  # rewrites the caller; callees are only read
 
     def run(self, module: Module) -> bool:
         changed = False
@@ -214,7 +223,9 @@ class PartialInliner(ModulePass):
             guard = self._early_return_guard(callee)
             if guard is None:
                 continue
-            changed |= self._apply(site, caller, callee, guard)
+            if self._apply(site, caller, callee, guard):
+                self.note_modified(caller)
+                changed = True
         return changed
 
     @staticmethod

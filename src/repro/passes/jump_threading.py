@@ -72,6 +72,7 @@ class JumpThreading(FunctionPass):
     """Thread control flow through blocks with predecessor-determined branches."""
 
     name = "jump-threading"
+    module_independent = True
     description = "Redirect predecessors past blocks whose branch outcome they determine"
 
     def run_on_function(self, function: Function, module: Module) -> bool:

@@ -92,6 +92,8 @@ def extract_loop(loop: Loop, function: Function, module: Module,
         function.blocks.remove(block)
         block.parent = outlined
         outlined.blocks.append(block)
+    function.invalidate_cfg()
+    outlined.invalidate_cfg()
     entry.append(Branch(header))
 
     # Rewrite references: live-ins become arguments, exits return.
@@ -127,20 +129,23 @@ class LoopExtract(ModulePass):
 
     name = "loop-extract"
     description = "Outline natural loops into separate functions"
+    tracks_modified = True  # the source function; outlined ones are brand new
 
     def run(self, module: Module) -> bool:
         changed = False
         counter = 0
         for function in list(module.defined_functions()):
             # Extract innermost loops first; re-discover after each extraction
-            # because the CFG (and loop forest) changes.
+            # because the CFG (and loop forest) changes — the analysis manager
+            # recomputes automatically once the CFG version has moved.
             for _ in range(16):
-                loop_info = LoopInfo(function)
+                loop_info = self.analysis.loop_info(function)
                 loops = sorted(loop_info.loops(), key=lambda l: -l.depth)
                 extracted = False
                 for loop in loops:
                     counter += 1
                     if extract_loop(loop, function, module, counter):
+                        self.note_modified(function)
                         extracted = True
                         changed = True
                         break

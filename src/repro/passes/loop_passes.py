@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from ..ir import (
     BasicBlock, BinaryOp, Branch, Call, CondBranch, Constant, Function, GEP,
-    ICmp, Instruction, Load, Loop, LoopInfo, Module, Phi, Store, Value,
+    ICmp, Instruction, Load, Loop, Module, Phi, Store, Value,
     remove_unreachable_blocks, I1,
 )
 from ..ir.cloning import clone_instruction
+from .analysis import PRESERVE_ALL
 from .pass_manager import FunctionPass, register_pass
 from .loop_utils import (
     ensure_preheader, find_induction_variable, form_lcssa, loop_is_invariant,
@@ -24,17 +25,27 @@ from .utils import constant_value, fold_icmp, to_signed
 
 
 class _LoopPassBase(FunctionPass):
-    """Iterates over loops (innermost first) applying :meth:`run_on_loop`."""
+    """Iterates over loops (innermost first) applying :meth:`run_on_loop`.
+
+    The loop forest is requested from the analysis manager once per function
+    (exactly where the seed constructed it) and — matching the seed — is *not*
+    refreshed between loops, even though canonicalization may grow the CFG.
+    """
 
     canonicalize = True
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        loop_info = LoopInfo(function)
+        loop_info = self.analysis.loop_info(function)
         loops = sorted(loop_info.loops(), key=lambda l: -l.depth)
         for loop in loops:
             if self.canonicalize:
+                # ensure_preheader may create a block: detect that as a change
+                # (the seed under-reported it, which was harmless only because
+                # nothing cached analyses across passes).
+                blocks_before = len(function.blocks)
                 preheader = ensure_preheader(loop, function)
+                changed |= len(function.blocks) != blocks_before
                 if preheader is None:
                     continue
                 changed_lcssa = form_lcssa(loop, function)
@@ -51,6 +62,7 @@ class LICM(_LoopPassBase):
     """Loop-invariant code motion."""
 
     name = "licm"
+    module_independent = True
     description = "Hoist loop-invariant computations into the loop preheader"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
@@ -88,8 +100,10 @@ class LoopInstSimplify(_LoopPassBase):
     """Run instruction simplification on loop bodies only."""
 
     name = "loop-instsimplify"
+    module_independent = True
     description = "Simplify instructions inside loops"
     canonicalize = False
+    preserves = PRESERVE_ALL  # no canonicalization; folds instructions only
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
         return run_instsimplify(function, only_blocks=loop.blocks)
@@ -100,6 +114,7 @@ class LoopRotate(_LoopPassBase):
     """Rotate top-tested loops into bottom-tested (do-while) form."""
 
     name = "loop-rotate"
+    module_independent = True
     description = "Rotate while-style loops into do-while form"
 
     MAX_HEADER_SIZE = 16
@@ -151,6 +166,7 @@ class LoopDeletion(_LoopPassBase):
     """Delete loops with no observable effects and a provably finite trip count."""
 
     name = "loop-deletion"
+    module_independent = True
     description = "Remove side-effect-free loops whose results are unused"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
@@ -186,6 +202,7 @@ class IndVarSimplify(_LoopPassBase):
     separate additive induction variable."""
 
     name = "indvars"
+    module_independent = True
     description = "Canonicalize and strength-reduce induction variables"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
@@ -230,6 +247,7 @@ class LoopStrengthReduce(_LoopPassBase):
     """loop-reduce (LSR): rewrite ``gep(base, iv)`` into a strided pointer IV."""
 
     name = "loop-reduce"
+    module_independent = True
     description = "Strength-reduce array addressing inside loops"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
@@ -268,6 +286,7 @@ class LoopIdiom(_LoopPassBase):
     by four (emulating the wide-store rewrite LLVM performs)."""
 
     name = "loop-idiom"
+    module_independent = True
     description = "Rewrite memset-style loops into wider unrolled stores"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:
@@ -306,6 +325,7 @@ class IRCE(_LoopPassBase):
     the loop bounds."""
 
     name = "irce"
+    module_independent = True
     description = "Eliminate range checks implied by loop bounds"
 
     def run_on_loop(self, loop: Loop, function: Function, module: Module) -> bool:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ..ir import (
     Alloca, BasicBlock, Branch, CondBranch, Function, Instruction, Loop,
-    LoopInfo, Module, Phi, remove_unreachable_blocks,
+    Module, Phi, remove_unreachable_blocks,
 )
 from ..ir.cloning import clone_instruction
 from .pass_manager import FunctionPass, register_pass
@@ -56,7 +56,10 @@ def fully_unroll_loop(loop: Loop, function: Function, trip_count: int) -> bool:
         return False
     header = loop.header
     latch = loop.latches[0]
-    loop_blocks = list(loop.blocks)
+    # RPO so every cloned def lands in the value map before its uses; the
+    # seed iterated the bare block set, which (address-dependently) cloned
+    # uses before defs and emitted invalid IR.
+    loop_blocks = loop.body_in_rpo()
     header_phis = header.phis()
 
     # Current value of every header phi at the start of the iteration being
@@ -113,6 +116,7 @@ def fully_unroll_loop(loop: Loop, function: Function, trip_count: int) -> bool:
 
         for offset, new_block in enumerate(new_blocks):
             function.blocks.insert(insert_position + offset, new_block)
+        function.invalidate_cfg()
         insert_position += len(new_blocks)
 
         # Wire the previous tail into this iteration's header copy.
@@ -139,6 +143,7 @@ def fully_unroll_loop(loop: Loop, function: Function, trip_count: int) -> bool:
             final_map[inst] = cloned
     final_header.append(Branch(iv.exit_block))
     function.blocks.insert(insert_position, final_header)
+    function.invalidate_cfg()
     previous_tail.replace_successor(header, final_header)
 
     # Values defined in the loop and used outside must refer to their final copy.
@@ -173,20 +178,25 @@ class LoopUnroll(FunctionPass):
     """Fully unroll small constant-trip-count loops."""
 
     name = "loop-unroll"
+    module_independent = True
     description = "Fully unroll loops with small constant trip counts"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        # Re-discover loops after each unroll, since the CFG changes radically.
+        # Re-discover loops after each unroll, since the CFG changes radically
+        # (the analysis manager recomputes automatically once the CFG version
+        # has moved; untouched rounds are answered from the cache).
         for _ in range(8):
-            loop_info = LoopInfo(function)
+            loop_info = self.analysis.loop_info(function)
             candidates = [l for l in loop_info.loops() if not l.subloops]
             unrolled = False
             for loop in candidates:
+                blocks_before = len(function.blocks)
                 preheader = ensure_preheader(loop, function)
+                changed |= len(function.blocks) != blocks_before
                 if preheader is None:
                     continue
-                form_lcssa(loop, function)
+                changed |= form_lcssa(loop, function)
                 iv = find_induction_variable(loop)
                 if iv is None:
                     continue
@@ -213,18 +223,21 @@ class LoopUnrollAndJam(FunctionPass):
     innermost loop of a two-deep nest is fully unrolled when small)."""
 
     name = "loop-unroll-and-jam"
+    module_independent = True
     description = "Unroll inner loops of loop nests"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        loop_info = LoopInfo(function)
+        loop_info = self.analysis.loop_info(function)
         for loop in loop_info.loops():
             if loop.subloops or loop.parent is None:
                 continue  # only inner loops that actually have a parent nest
+            blocks_before = len(function.blocks)
             preheader = ensure_preheader(loop, function)
+            changed |= len(function.blocks) != blocks_before
             if preheader is None:
                 continue
-            form_lcssa(loop, function)
+            changed |= form_lcssa(loop, function)
             iv = find_induction_variable(loop)
             if iv is None:
                 continue

@@ -11,6 +11,7 @@ from ..ir import (
     BasicBlock, BinaryOp, Branch, CondBranch, Constant, Function, ICmp,
     Instruction, Loop, LoopInfo, Phi, Value, I32,
 )
+from ..ir.analysis_cache import cfg_cache_enabled
 from .utils import constant_value, fold_icmp, to_signed
 
 
@@ -27,6 +28,7 @@ def ensure_preheader(loop: Loop, function: Function) -> Optional[BasicBlock]:
     # Place it right before the header for readability.
     function.blocks.remove(preheader)
     function.blocks.insert(function.blocks.index(header), preheader)
+    function.invalidate_cfg()  # analyses are sensitive to block order too
     preheader.append(Branch(header))
 
     for pred in outside_preds:
@@ -56,7 +58,7 @@ def form_lcssa(loop: Loop, function: Function) -> bool:
     exits = loop.exit_blocks()
     for block in list(loop.blocks):
         for inst in list(block.instructions):
-            if not inst.has_result:
+            if not inst.users or not inst.has_result:
                 continue
             outside_users = [u for u in inst.users
                              if isinstance(u, Instruction) and u.parent is not None
@@ -118,24 +120,42 @@ class InductionVariable:
     continue_on_true: bool
 
     def trip_count(self, max_iterations: int = 1 << 20) -> Optional[int]:
-        """Simulate the IV to find the trip count, when init/bound are constants."""
+        """Simulate the IV to find the trip count, when init/bound are constants.
+
+        The simulation is a pure function of the IV's constants and compare
+        shape, so its result is memoized process-wide (disabled together with
+        the analysis caches, since the seed re-simulated on every query).
+        """
         init = constant_value(self.init)
         bound = constant_value(self.bound)
         if init is None or bound is None:
             return None
         compares_update = self.compare.lhs is self.update or self.compare.rhs is self.update
+        iv_on_lhs = self.compare.lhs is self.phi or self.compare.lhs is self.update
+        memoize = cfg_cache_enabled()
+        key = (init, bound, self.step, self.compare.predicate, compares_update,
+               iv_on_lhs, self.continue_on_true, max_iterations)
+        if memoize and key in _TRIP_COUNT_MEMO:
+            return _TRIP_COUNT_MEMO[key]
+        result = None
         value = init
         count = 0
         while count <= max_iterations:
             probe = (value + self.step) & 0xFFFFFFFF if compares_update else value
-            lhs, rhs = (probe, bound) if (self.compare.lhs is self.phi
-                                          or self.compare.lhs is self.update) else (bound, probe)
+            lhs, rhs = (probe, bound) if iv_on_lhs else (bound, probe)
             taken = bool(fold_icmp(self.compare.predicate, lhs, rhs))
             if taken != self.continue_on_true:
-                return count
+                result = count
+                break
             value = (value + self.step) & 0xFFFFFFFF
             count += 1
-        return None
+        if memoize:
+            _TRIP_COUNT_MEMO[key] = result
+        return result
+
+
+#: Memoized trip-count simulations, keyed by the IV constants/compare shape.
+_TRIP_COUNT_MEMO: dict[tuple, Optional[int]] = {}
 
 
 def find_induction_variable(loop: Loop) -> Optional[InductionVariable]:

@@ -9,10 +9,13 @@ as the paper applies single LLVM passes to ``mir-opt-level=0`` output.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..ir import (
     Alloca, BasicBlock, DominatorTree, Function, Load, Module, Phi, Store,
     UndefValue, dominance_frontiers, remove_unreachable_blocks, I32,
 )
+from .analysis import PRESERVE_ALL, AnalysisManager
 from .pass_manager import FunctionPass, register_pass
 
 
@@ -36,8 +39,14 @@ def promotable_allocas(function: Function) -> list[Alloca]:
     return result
 
 
-def promote_allocas(function: Function, allocas: list[Alloca]) -> bool:
-    """Promote the given allocas to SSA values.  Returns True if any changed."""
+def promote_allocas(function: Function, allocas: list[Alloca],
+                    analysis: Optional[AnalysisManager] = None) -> bool:
+    """Promote the given allocas to SSA values.  Returns True if any changed.
+
+    The unreachable-block sweep happens *before* the analyses are requested,
+    so the dominator tree and frontiers computed here describe the function's
+    final CFG (everything after is phi/load/store surgery).
+    """
     if not allocas:
         return False
     remove_unreachable_blocks(function)
@@ -45,15 +54,20 @@ def promote_allocas(function: Function, allocas: list[Alloca]) -> bool:
     if not allocas:
         return False
 
-    domtree = DominatorTree(function)
-    frontiers = dominance_frontiers(function, domtree)
+    if analysis is not None:
+        domtree = analysis.domtree(function)
+        frontiers = analysis.frontiers(function)
+    else:
+        domtree = DominatorTree(function)
+        frontiers = dominance_frontiers(function, domtree)
     alloca_set = set(allocas)
 
     # 1. Place phi nodes at the iterated dominance frontier of every store.
     phi_for: dict[tuple[BasicBlock, Alloca], Phi] = {}
     for alloca in allocas:
-        def_blocks = {u.parent for u in alloca.users
-                      if isinstance(u, Store) and u.parent is not None}
+        # Insertion-ordered (use-list order) so phi placement is deterministic.
+        def_blocks = dict.fromkeys(u.parent for u in alloca.users
+                                   if isinstance(u, Store) and u.parent is not None)
         worklist = list(def_blocks)
         placed: set[BasicBlock] = set()
         while worklist:
@@ -137,7 +151,13 @@ class Mem2Reg(FunctionPass):
     """Promote memory to registers (SSA construction)."""
 
     name = "mem2reg"
+    module_independent = True
     description = "Promote alloca'd scalars into SSA registers"
+    # The only CFG mutation (the unreachable-block sweep) happens before the
+    # analyses are requested; the results cached during the pass therefore
+    # describe the final CFG, and the version safety net covers the sweep.
+    preserves = PRESERVE_ALL
 
     def run_on_function(self, function: Function, module: Module) -> bool:
-        return promote_allocas(function, promotable_allocas(function))
+        return promote_allocas(function, promotable_allocas(function),
+                               analysis=self.analysis)

@@ -3,11 +3,14 @@ bounds-checking."""
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..ir import (
     Alloca, BasicBlock, BinaryOp, Branch, Call, Cast, CondBranch, Constant,
-    DominatorTree, Function, GEP, GlobalVariable, ICmp, Instruction, Load,
+    Function, GEP, GlobalVariable, ICmp, Instruction, Load,
     Module, Phi, Ret, Select, Store, Unreachable, I1, I32,
 )
+from .analysis import PRESERVE_ALL, AnalysisManager
 from .pass_manager import FunctionPass, ModulePass, register_pass
 from .utils import constant_value, underlying_object
 
@@ -21,11 +24,13 @@ class Sink(FunctionPass):
     """
 
     name = "sink"
+    module_independent = True
     description = "Move instructions into the successor blocks that use them"
+    preserves = PRESERVE_ALL  # moves non-terminators between existing blocks
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        domtree = DominatorTree(function)
+        domtree = self.analysis.domtree(function)
         for block in list(function.blocks):
             for inst in reversed(list(block.instructions)):
                 if inst.is_terminator or isinstance(inst, (Phi, Alloca)):
@@ -58,7 +63,9 @@ class MergedLoadStoreMotion(FunctionPass):
     head block (and remove the duplicate)."""
 
     name = "mldst-motion"
+    module_independent = True
     description = "Merge identical memory accesses from both sides of a diamond"
+    preserves = PRESERVE_ALL  # moves/erases non-terminators only
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
@@ -113,6 +120,7 @@ class Attributor(ModulePass):
 
     name = "attributor"
     description = "Infer and exploit function attributes"
+    preserves = PRESERVE_ALL  # deletes unused calls and adds attributes only
 
     def run(self, module: Module) -> bool:
         changed = False
@@ -145,16 +153,19 @@ class Attributor(ModulePass):
                         continue
                     callee = module.get_function(inst.callee)
                     if callee is not None and "readnone" in callee.attributes \
-                            and not _may_diverge(callee):
+                            and not _may_diverge(callee, self.analysis):
                         inst.erase()
                         changed = True
         return changed
 
 
-def _may_diverge(function: Function) -> bool:
+def _may_diverge(function: Function,
+                 analysis: Optional[AnalysisManager] = None) -> bool:
     """Conservatively true if the function contains any loop (might not return)."""
     from ..ir import LoopInfo
 
+    if analysis is not None:
+        return bool(analysis.loop_info(function).loops())
     return bool(LoopInfo(function).loops())
 
 
@@ -168,7 +179,9 @@ class SpeculativeExecution(FunctionPass):
     """
 
     name = "speculative-execution"
+    module_independent = True
     description = "Hoist side-effect-free instructions above branches"
+    preserves = PRESERVE_ALL  # moves non-terminators between existing blocks
 
     MAX_SPECULATED = 4
 
@@ -206,6 +219,7 @@ class BoundsChecking(FunctionPass):
     (a sanitizer-style pass; it always adds executed instructions)."""
 
     name = "bounds-checking"
+    module_independent = True
     description = "Insert array bounds checks before indexed memory accesses"
 
     def run_on_function(self, function: Function, module: Module) -> bool:

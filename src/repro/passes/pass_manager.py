@@ -3,14 +3,23 @@
 Mirrors the way the paper drives LLVM: a *profile* is an ordered list of pass
 names (plus numeric options such as ``inline-threshold``), applied to the
 unoptimized module produced by the frontend.
+
+Passes no longer construct :class:`~repro.ir.dominators.DominatorTree` /
+:class:`~repro.ir.loops.LoopInfo` themselves — they request them from the
+pipeline's :class:`~repro.passes.analysis.AnalysisManager` (``self.analysis``)
+and declare which analyses they preserve via ``preserves``; see
+:mod:`repro.passes.analysis` for the invalidation rules.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
 from ..ir import Function, Module, verify_module
+from ..ir.analysis_cache import cfg_cache_disabled
+from .analysis import AnalysisManager, AnalysisStats, PRESERVE_NONE
 
 
 @dataclass
@@ -51,27 +60,133 @@ class PassConfig:
         return replace(self, **kwargs)
 
 
+class PassPipelineError(RuntimeError):
+    """A pass raised while running; carries the failing pass's context.
+
+    The seed re-wrapped every exception in a bare ``RuntimeError`` that lost
+    which pipeline slot and which function were being optimized — exactly the
+    context needed to reproduce an autotuner candidate failure.  The original
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, pass_name: str, pass_index: int,
+                 function_name: Optional[str], error: BaseException):
+        self.pass_name = pass_name
+        self.pass_index = pass_index
+        self.function_name = function_name
+        where = (f" while optimizing function '{function_name}'"
+                 if function_name else "")
+        super().__init__(
+            f"pass '{pass_name}' (pipeline index {pass_index}) failed{where}: "
+            f"{error}")
+
+
+@dataclass
+class PassTiming:
+    """Wall time and analysis-cache activity of one pipeline slot."""
+
+    name: str
+    index: int
+    seconds: float
+    changed: bool
+    analysis: AnalysisStats = field(default_factory=AnalysisStats)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "index": self.index,
+                "seconds": self.seconds, "changed": self.changed,
+                "analysis": self.analysis.as_dict()}
+
+
 class Pass:
     """Base class of every optimization pass."""
 
     name = "<abstract>"
     description = ""
 
+    #: Analyses still valid for the functions this pass *modified* (see
+    #: :data:`repro.passes.analysis.PRESERVE_ALL` /
+    #: :data:`~repro.passes.analysis.PRESERVE_NONE`).  Unmodified functions
+    #: keep everything regardless.
+    preserves: frozenset[str] = PRESERVE_NONE
+
+    #: Module passes that report the exact functions they modified (via
+    #: :meth:`note_modified`) set this, enabling precise invalidation.
+    tracks_modified = False
+
     def __init__(self, config: Optional[PassConfig] = None):
         self.config = config or PassConfig()
+        # Standalone pass runs compute analyses fresh per request; the pass
+        # manager injects its shared caching manager before each pipeline run.
+        self.analysis = AnalysisManager(enabled=False)
+        self._modified_functions: Optional[set[Function]] = None
 
     def run(self, module: Module) -> bool:
         """Run on a module; return True if the IR changed."""
         raise NotImplementedError
 
+    # -- modification reporting (module passes) ----------------------------
+    def note_modified(self, function: Optional[Function]) -> None:
+        """Record that ``function`` was modified (for precise invalidation)."""
+        if function is not None and self._modified_functions is not None:
+            self._modified_functions.add(function)
+
+    def begin_tracking(self) -> None:
+        self._modified_functions = set() if self.tracks_modified else None
+
+    def take_modified(self) -> Optional[set[Function]]:
+        """The functions modified since :meth:`begin_tracking`, or ``None``
+        when this pass does not track (callers must then assume *all*)."""
+        modified, self._modified_functions = self._modified_functions, None
+        return modified
+
 
 class FunctionPass(Pass):
-    """A pass that runs independently on every defined function."""
+    """A pass that runs independently on every defined function.
+
+    Handles its own invalidation: after ``run_on_function`` reports a change,
+    the non-preserved analyses of exactly that function are dropped.
+
+    Passes whose behaviour depends only on the function they are given (and
+    their config) set ``module_independent = True``; the manager then skips
+    re-running them on a function whose IR epoch has not moved since the same
+    pass last proved itself a no-op there — sound because passes are
+    deterministic, and airtight because the no-op record is only written when
+    the epoch did not move during the run (a lying ``changed`` flag cannot
+    poison it).
+    """
+
+    #: True when run_on_function reads nothing outside its function + config
+    #: (enables no-op skipping; e.g. ``gvn`` scans the whole module for
+    #: global writes and must stay False).
+    module_independent = False
+
+    #: The function currently being optimized (error-reporting context).
+    current_function: Optional[Function] = None
 
     def run(self, module: Module) -> bool:
         changed = False
+        manager = self.analysis
+        skippable = manager.enabled and self.module_independent
         for function in module.defined_functions():
-            changed |= bool(self.run_on_function(function, module))
+            epoch = function.ir_version
+            if skippable:
+                key = (self.name, id(self.config), function)
+                if manager.noop_epoch(key) == epoch:
+                    manager.stats.skipped += 1
+                    continue
+            self.current_function = function
+            version_before = function.cfg_version
+            function_changed = bool(self.run_on_function(function, module))
+            self.current_function = None
+            if function_changed:
+                # The managed analyses are pure functions of the block graph;
+                # a pass that only touched instructions (version unchanged)
+                # preserves all of them regardless of its declaration.
+                if function.cfg_version != version_before:
+                    self.analysis.invalidate(function, self.preserves)
+                changed = True
+            if skippable and function.ir_version == epoch:
+                manager.record_noop(key, epoch)
         return changed
 
     def run_on_function(self, function: Function, module: Module) -> bool:
@@ -118,13 +233,44 @@ def _ensure_loaded() -> None:
 
 
 class PassManager:
-    """Runs an ordered sequence of passes over a module."""
+    """Runs an ordered sequence of passes over a module.
+
+    Parameters
+    ----------
+    analysis_cache:
+        ``True`` (default) shares one caching :class:`AnalysisManager` across
+        the pipeline, with preserves-driven invalidation between passes.
+        ``False`` is the escape hatch: every analysis request — including the
+        IR-level CFG metadata — is recomputed from scratch, reproducing the
+        seed pass manager for differential testing and benchmarking.
+    verify_analyses:
+        Debug mode: cross-check every cached analysis against a fresh
+        recomputation on each hit and after each pass.
+    verify_each:
+        Run the IR verifier after every pass.
+    seed_baseline:
+        Benchmarking mode: like ``analysis_cache=False`` but additionally
+        serving every analysis request from the preserved seed
+        implementations (:mod:`repro.passes.seed_analysis`), reproducing the
+        seed pass manager's full cost model.  Not byte-deterministic.
+    """
 
     def __init__(self, passes: Iterable[str | Pass] = (),
                  config: Optional[PassConfig] = None,
-                 verify_each: bool = False):
+                 verify_each: bool = False,
+                 analysis_cache: bool = True,
+                 verify_analyses: bool = False,
+                 seed_baseline: bool = False):
         self.config = config or PassConfig()
         self.verify_each = verify_each
+        self.analysis_cache = analysis_cache and not seed_baseline
+        self.verify_analyses = verify_analyses
+        self.seed_baseline = seed_baseline
+        self.analysis = AnalysisManager(enabled=self.analysis_cache,
+                                        verify=verify_analyses,
+                                        seed_baseline=seed_baseline)
+        #: Per-slot wall time and cache activity of the most recent run.
+        self.timings: list[PassTiming] = []
         self.passes: list[Pass] = []
         for item in passes:
             self.add(item)
@@ -137,25 +283,76 @@ class PassManager:
 
     def run(self, module: Module) -> bool:
         """Run all passes in order.  Returns True if any pass changed the IR."""
+        if self.seed_baseline:
+            from .seed_analysis import seed_substrate
+
+            with cfg_cache_disabled(), seed_substrate():
+                return self._run(module)
+        if self.analysis_cache:
+            return self._run(module)
+        with cfg_cache_disabled():
+            return self._run(module)
+
+    def _run(self, module: Module) -> bool:
         changed = False
-        for pass_ in self.passes:
+        manager = self.analysis
+        manager.clear()  # never carry analyses from a previous module
+        self.timings = []
+        for index, pass_ in enumerate(self.passes):
+            pass_.analysis = manager
+            pass_.begin_tracking()
+            before = manager.stats.snapshot()
+            versions = {function: function.cfg_version
+                        for function in module.defined_functions()} \
+                if not isinstance(pass_, FunctionPass) else {}
+            start = time.perf_counter()
             try:
-                changed |= bool(pass_.run(module))
-            except Exception as error:  # pragma: no cover - defensive
-                raise RuntimeError(f"pass '{pass_.name}' failed: {error}") from error
+                pass_changed = bool(pass_.run(module))
+            except Exception as error:
+                current = getattr(pass_, "current_function", None)
+                raise PassPipelineError(
+                    pass_.name, index,
+                    current.name if current is not None else None,
+                    error) from error
+            if pass_changed and not isinstance(pass_, FunctionPass):
+                # Function passes invalidate as they go; everything else is
+                # invalidated here — precisely when the pass tracked the
+                # functions it touched, conservatively otherwise.  Functions
+                # whose block graph never moved keep all managed analyses
+                # (they are pure functions of the CFG).
+                modified = pass_.take_modified()
+                targets = modified if modified is not None \
+                    else module.defined_functions()
+                manager.invalidate_functions(
+                    (function for function in targets
+                     if function.cfg_version != versions.get(function, -1)),
+                    pass_.preserves)
+            elapsed = time.perf_counter() - start
+            self.timings.append(PassTiming(
+                pass_.name, index, elapsed, pass_changed,
+                manager.stats.delta(before)))
+            if self.verify_analyses:
+                manager.verify_analyses()
             if self.verify_each:
                 verify_module(module)
+            changed |= pass_changed
         return changed
 
     @property
     def pass_names(self) -> list[str]:
         return [p.name for p in self.passes]
 
+    def timing_report(self) -> list[dict]:
+        """Per-slot timing/cache records of the most recent run, as dicts."""
+        return [timing.as_dict() for timing in self.timings]
+
 
 def run_passes(module: Module, names: Iterable[str],
                config: Optional[PassConfig] = None,
-               verify_each: bool = False) -> Module:
+               verify_each: bool = False,
+               analysis_cache: bool = True) -> Module:
     """Clone ``module``, run the named passes on the clone, and return it."""
     cloned = module.clone()
-    PassManager(names, config, verify_each).run(cloned)
+    PassManager(names, config, verify_each,
+                analysis_cache=analysis_cache).run(cloned)
     return cloned

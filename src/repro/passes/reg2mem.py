@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..ir import (
     Alloca, BasicBlock, Function, Instruction, Load, Module, Phi, Store, I32,
 )
+from .analysis import PRESERVE_ALL
 from .pass_manager import FunctionPass, register_pass
 
 
@@ -29,7 +30,9 @@ class Reg2Mem(FunctionPass):
     """Demote registers to memory (the inverse of mem2reg)."""
 
     name = "reg2mem"
+    module_independent = True
     description = "Demote cross-block SSA values and phi nodes into stack slots"
+    preserves = PRESERVE_ALL  # inserts allocas/loads/stores; CFG untouched
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False

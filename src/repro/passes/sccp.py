@@ -73,9 +73,8 @@ class _SCCPSolver:
                     self.visit(inst)
 
     def visit(self, inst: Instruction) -> None:
-        if isinstance(inst, Phi):
-            self.visit_phi(inst)
-        elif isinstance(inst, BinaryOp):
+        # Ordered by visit frequency (binops/compares dominate -O0-style IR).
+        if isinstance(inst, BinaryOp):
             lhs, rhs = self.value_of(inst.lhs), self.value_of(inst.rhs)
             if lhs == _OVER or rhs == _OVER:
                 self.mark(inst, _OVER)
@@ -109,6 +108,8 @@ class _SCCPSolver:
                     if value >= (1 << (src_bits - 1)):
                         value -= 1 << src_bits
                     self.mark(inst, value & 0xFFFFFFFF)
+        elif isinstance(inst, Phi):
+            self.visit_phi(inst)
         elif isinstance(inst, (Load, Call)):
             if inst.has_result:
                 self.mark(inst, _OVER)
@@ -192,6 +193,7 @@ class SCCP(FunctionPass):
     """Sparse conditional constant propagation."""
 
     name = "sccp"
+    module_independent = True
     description = "Constant propagation with executable-edge tracking"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
@@ -204,6 +206,7 @@ class IPSCCP(ModulePass):
 
     name = "ipsccp"
     description = "Interprocedural sparse conditional constant propagation"
+    tracks_modified = True  # reports the exact functions it rewrote
 
     def run(self, module: Module) -> bool:
         changed = False
@@ -233,11 +236,14 @@ class IPSCCP(ModulePass):
                 argument_constants[function] = constants
                 for argument, value in constants.items():
                     argument.replace_all_uses_with(Constant(value))
+                    self.note_modified(function)
                     changed = True
 
         # 2. Per-function SCCP, seeded with the propagated argument constants.
         for function in module.defined_functions():
-            changed |= apply_sccp(function, argument_constants.get(function))
+            if apply_sccp(function, argument_constants.get(function)):
+                self.note_modified(function)
+                changed = True
 
         # 3. Functions that provably return a single constant.
         for function in module.defined_functions():
@@ -251,6 +257,13 @@ class IPSCCP(ModulePass):
                     continue
                 for site in call_sites.get(function.name, []):
                     if site.users:
+                        # The rewrite lands in the functions that *use* the
+                        # call result (normally the site's own function).
+                        for user in site.users:
+                            if isinstance(user, Instruction) and user.parent is not None:
+                                self.note_modified(user.parent.parent)
                         site.replace_all_uses_with(Constant(value))
+                        if site.parent is not None:
+                            self.note_modified(site.parent.parent)
                         changed = True
         return changed

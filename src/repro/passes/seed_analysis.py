@@ -1,0 +1,429 @@
+"""The seed repository's analysis implementations, preserved verbatim.
+
+This is the pass-pipeline analogue of :mod:`repro.emulator.reference`: the
+exact ``DominatorTree`` / ``LoopInfo`` / dominance-frontier / CFG-query code
+the seed pass manager rebuilt inside every pass, kept runnable so
+``benchmarks/bench_passes.py`` can measure the new invalidation-aware pipeline
+against the real seed baseline (and so a future session can differential-test
+analysis rewrites against the original algorithms).
+
+Differences from the seed are annotated and limited to what is required to
+drive today's passes:
+
+* ``SeedLoop.body_in_rpo`` exists (the unroller/unswitcher need it); it uses
+  the fixed RPO ordering because the seed's bare ``list(loop.blocks)`` order
+  emitted use-before-def IR on an address-dependent subset of runs — a latent
+  seed miscompile this PR fixes for both pipelines.
+* ``SeedLoop.blocks`` remains an address-ordered ``set`` exactly like the
+  seed, so timings include the seed's real behaviour — which also means a
+  seed-baseline pipeline run is *not* byte-deterministic.  Use the
+  ``analysis_cache=False`` (fresh) mode, not this module, as the differential
+  oracle.
+
+Do not "optimize" this module: its value is fidelity to the seed's cost
+model (per-query predecessor scans, per-pass tree construction, per-edge
+idom-chain dominance walks).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..ir.basic_block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Branch, CondBranch, Instruction, Phi, Ret, Unreachable,
+)
+from ..ir.values import Value
+
+
+# -- seed cfg.py ---------------------------------------------------------------
+def seed_predecessors_map(function: Function) -> dict[BasicBlock, list[BasicBlock]]:
+    """Compute a predecessor map for every block in one pass over the CFG."""
+    preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in function.blocks}
+    for block in function.blocks:
+        for succ in block.successors:
+            if succ in preds:
+                preds[succ].append(block)
+    return preds
+
+
+def seed_postorder(function: Function) -> list[BasicBlock]:
+    """Post-order traversal of the CFG from the entry block."""
+    visited: set[BasicBlock] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        stack = [(block, iter(block.successors))]
+        visited.add(block)
+        while stack:
+            current, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    if function.blocks:
+        visit(function.entry_block)
+    return order
+
+
+def seed_reverse_postorder(function: Function) -> list[BasicBlock]:
+    return list(reversed(seed_postorder(function)))
+
+
+def seed_reachable_blocks(function: Function) -> set[BasicBlock]:
+    """Blocks reachable from the entry block (seed: recomputed per call)."""
+    if not function.blocks:
+        return set()
+    seen: set[BasicBlock] = set()
+    worklist = [function.entry_block]
+    while worklist:
+        block = worklist.pop()
+        if block in seen:
+            continue
+        seen.add(block)
+        worklist.extend(block.successors)
+    return seen
+
+
+# -- seed dominators.py --------------------------------------------------------
+class SeedDominatorTree:
+    """Immediate-dominator tree of a function's CFG (seed implementation)."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = seed_reverse_postorder(function)
+        self._rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: dict[BasicBlock, BasicBlock] = {}
+        self._children: dict[BasicBlock, list[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        preds = seed_predecessors_map(self.function)
+        idom: dict[BasicBlock, BasicBlock | None] = {b: None for b in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                new_idom: BasicBlock | None = None
+                for pred in preds[block]:
+                    if pred not in self._rpo_index or idom.get(pred) is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, idom)
+                if new_idom is not None and idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = {b: d for b, d in idom.items() if d is not None}
+        self._children = {b: [] for b in self.rpo}
+        for block, dom in self.idom.items():
+            if block is not dom:
+                self._children[dom].append(block)
+
+    def _intersect(self, b1: BasicBlock, b2: BasicBlock,
+                   idom: dict[BasicBlock, BasicBlock | None]) -> BasicBlock:
+        index = self._rpo_index
+        while b1 is not b2:
+            while index[b1] > index[b2]:
+                b1 = idom[b1]  # type: ignore[assignment]
+            while index[b2] > index[b1]:
+                b2 = idom[b2]  # type: ignore[assignment]
+        return b1
+
+    # -- queries -----------------------------------------------------------
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        if a is b:
+            return True
+        runner = self.idom.get(b)
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is self.idom.get(runner):
+                break
+            runner = self.idom.get(runner)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> list[BasicBlock]:
+        return list(self._children.get(block, []))
+
+    def instruction_dominates(self, a: Instruction, b: Instruction) -> bool:
+        if a.parent is b.parent and a.parent is not None:
+            block = a.parent
+            return block.instructions.index(a) < block.instructions.index(b)
+        if a.parent is None or b.parent is None:
+            return False
+        return self.strictly_dominates(a.parent, b.parent)
+
+    def value_dominates_use(self, value: Value, user: Instruction) -> bool:
+        if not isinstance(value, Instruction):
+            return True
+        if isinstance(user, Phi):
+            for incoming_value, incoming_block in user.incoming:
+                if incoming_value is value and value.parent is not None:
+                    if not self.dominates(value.parent, incoming_block):
+                        return False
+            return True
+        return self.instruction_dominates(value, user)
+
+
+def seed_dominance_frontiers(function: Function,
+                             domtree: SeedDominatorTree | None = None
+                             ) -> dict[BasicBlock, set[BasicBlock]]:
+    """Compute the dominance frontier of every block (seed implementation)."""
+    domtree = domtree or SeedDominatorTree(function)
+    preds = seed_predecessors_map(function)
+    frontiers: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in function.blocks}
+    for block in domtree.rpo:
+        block_preds = preds.get(block, [])
+        if len(block_preds) < 2:
+            continue
+        for pred in block_preds:
+            if pred not in domtree.idom:
+                continue
+            runner = pred
+            while runner is not domtree.idom.get(block) and runner in domtree.idom:
+                frontiers[runner].add(block)
+                next_runner = domtree.idom[runner]
+                if next_runner is runner:
+                    break
+                runner = next_runner
+    return frontiers
+
+
+# -- seed loops.py -------------------------------------------------------------
+@dataclass
+class SeedLoop:
+    """A natural loop (seed implementation: address-ordered block set)."""
+
+    header: BasicBlock
+    blocks: set = field(default_factory=set)
+    latches: list = field(default_factory=list)
+    parent: "SeedLoop | None" = None
+    subloops: list = field(default_factory=list)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        parent = self.parent
+        while parent is not None:
+            depth += 1
+            parent = parent.parent
+        return depth
+
+    def preheader(self) -> BasicBlock | None:
+        outside = [p for p in self.header.predecessors if p not in self.blocks]
+        if len(outside) == 1 and len(outside[0].successors) == 1:
+            return outside[0]
+        return None
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        exits: list[BasicBlock] = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if succ not in self.blocks and succ not in exits:
+                    exits.append(succ)
+        return exits
+
+    def exiting_blocks(self) -> list[BasicBlock]:
+        return [b for b in self.blocks
+                if any(s not in self.blocks for s in b.successors)]
+
+    def body_in_rpo(self) -> list[BasicBlock]:
+        """Not in the seed (see module docstring): RPO over the loop body."""
+        visited = {self.header}
+        order: list[BasicBlock] = []
+        stack = [(self.header, iter(self.header.successors))]
+        while stack:
+            block, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if succ in self.blocks and succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succ.successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(block)
+                stack.pop()
+        order.reverse()
+        order.extend(b for b in self.blocks if b not in visited)
+        return order
+
+
+class SeedLoopInfo:
+    """All natural loops of a function (seed implementation)."""
+
+    def __init__(self, function: Function, domtree: SeedDominatorTree | None = None):
+        self.function = function
+        self.domtree = domtree or SeedDominatorTree(function)
+        self.top_level: list[SeedLoop] = []
+        self._block_to_loop: dict[BasicBlock, SeedLoop] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        preds = seed_predecessors_map(self.function)
+        headers: dict[BasicBlock, list[BasicBlock]] = {}
+        for block in self.function.blocks:
+            for succ in block.successors:
+                if self.domtree.dominates(succ, block):
+                    headers.setdefault(succ, []).append(block)
+
+        loops: list[SeedLoop] = []
+        for header, latches in headers.items():
+            loop = SeedLoop(header=header, latches=latches)
+            loop.blocks.add(header)
+            worklist = list(latches)
+            while worklist:
+                block = worklist.pop()
+                if block in loop.blocks:
+                    continue
+                loop.blocks.add(block)
+                worklist.extend(preds.get(block, []))
+            loops.append(loop)
+
+        loops.sort(key=lambda l: len(l.blocks))
+        for i, inner in enumerate(loops):
+            for outer in loops[i + 1:]:
+                if inner.header in outer.blocks and inner is not outer:
+                    inner.parent = outer
+                    outer.subloops.append(inner)
+                    break
+        self.top_level = [l for l in loops if l.parent is None]
+        for loop in loops:
+            for block in loop.blocks:
+                existing = self._block_to_loop.get(block)
+                if existing is None or len(loop.blocks) < len(existing.blocks):
+                    self._block_to_loop[block] = loop
+
+    def loops(self) -> list[SeedLoop]:
+        result: list[SeedLoop] = []
+
+        def visit(loop: SeedLoop) -> None:
+            result.append(loop)
+            for sub in loop.subloops:
+                visit(sub)
+
+        for loop in self.top_level:
+            visit(loop)
+        return result
+
+    def innermost_loops(self) -> list[SeedLoop]:
+        return [l for l in self.loops() if not l.subloops]
+
+    def loop_for(self, block: BasicBlock) -> SeedLoop | None:
+        return self._block_to_loop.get(block)
+
+    def loop_depth(self, block: BasicBlock) -> int:
+        loop = self.loop_for(block)
+        return loop.depth if loop is not None else 0
+
+
+# -- seed IR substrate ---------------------------------------------------------
+@contextmanager
+def seed_substrate():
+    """Temporarily reinstate the seed's IR hot-path implementations.
+
+    The invalidation-aware pipeline also rewrote the IR layer's hottest
+    query paths (``is_terminator`` became a class flag instead of an
+    isinstance property, ``successors`` stopped re-deriving the terminator,
+    ``predecessors`` stopped scanning every block per query, constant folding
+    stopped importing the interpreter per call).  A faithful measurement of
+    "the seed pass manager" must include those per-query costs, so this
+    context swaps the preserved seed implementations back in for the scope.
+
+    Process-global and not thread-safe — strictly for the benchmarking
+    baseline (``PassManager(seed_baseline=True)``); everything is restored on
+    exit.
+    """
+    terminators = (Branch, CondBranch, Ret, Unreachable)
+    saved_class_flags = {}
+    for cls in terminators:
+        saved_class_flags[cls] = cls.__dict__.get("is_terminator")
+        if "is_terminator" in cls.__dict__:
+            delattr(cls, "is_terminator")
+    saved_base_flag = Instruction.is_terminator
+    Instruction.is_terminator = property(
+        lambda self: isinstance(self, terminators))
+
+    saved_successors = BasicBlock.successors
+
+    def _seed_successors(self):
+        term = self.terminator
+        if term is None:
+            return []
+        return list(getattr(term, "successors", []))
+
+    BasicBlock.successors = property(_seed_successors)
+
+    saved_predecessors = BasicBlock.predecessors
+
+    def _seed_predecessors(self):
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors:
+                preds.append(block)
+        return preds
+
+    BasicBlock.predecessors = property(_seed_predecessors)
+
+    from . import utils as pass_utils
+    saved_binop, saved_icmp = pass_utils._BINOP, pass_utils._ICMP
+
+    def _seed_fold_binop(opcode, lhs, rhs):
+        from ..ir.interpreter import Interpreter  # per-call, as the seed did
+
+        return Interpreter._binop(opcode, lhs, rhs)
+
+    def _seed_fold_icmp(predicate, lhs, rhs):
+        from ..ir import interpreter  # per-call, as the seed did
+
+        slhs, srhs = interpreter._to_signed(lhs), interpreter._to_signed(rhs)
+        table = {
+            "eq": lhs == rhs, "ne": lhs != rhs,
+            "slt": slhs < srhs, "sle": slhs <= srhs,
+            "sgt": slhs > srhs, "sge": slhs >= srhs,
+            "ult": lhs < rhs, "ule": lhs <= rhs,
+            "ugt": lhs > rhs, "uge": lhs >= rhs,
+        }
+        return table[predicate]
+
+    pass_utils._BINOP, pass_utils._ICMP = _seed_fold_binop, _seed_fold_icmp
+    try:
+        yield
+    finally:
+        Instruction.is_terminator = saved_base_flag
+        for cls, flag in saved_class_flags.items():
+            if flag is not None:
+                setattr(cls, "is_terminator", flag)
+        BasicBlock.successors = saved_successors
+        BasicBlock.predecessors = saved_predecessors
+        pass_utils._BINOP, pass_utils._ICMP = saved_binop, saved_icmp
+
+
+__all__ = [
+    "SeedDominatorTree", "SeedLoop", "SeedLoopInfo",
+    "seed_dominance_frontiers", "seed_postorder", "seed_predecessors_map",
+    "seed_reachable_blocks", "seed_reverse_postorder", "seed_substrate",
+]

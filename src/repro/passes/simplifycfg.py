@@ -42,20 +42,27 @@ def fold_constant_branches(function: Function) -> bool:
 
 def merge_single_predecessor_blocks(function: Function) -> bool:
     """Merge a block into its unique predecessor when that predecessor has a
-    single successor."""
+    single successor.
+
+    The predecessor map is maintained incrementally across merges within a
+    sweep (the seed rebuilt it from scratch after every single merge, which
+    made long merge chains quadratic); sweeps repeat until a full pass over
+    the blocks finds nothing to merge.
+    """
     changed = True
     any_change = False
     while changed:
         changed = False
-        preds = predecessors_map(function)
+        preds = {block: list(entries)
+                 for block, entries in predecessors_map(function).items()}
         for block in list(function.blocks):
-            if block is function.entry_block:
+            if block.parent is None or block is function.entry_block:
                 continue
             block_preds = preds.get(block, [])
             if len(block_preds) != 1:
                 continue
             pred = block_preds[0]
-            if len(pred.successors) != 1 or pred is block:
+            if pred.parent is None or len(pred.successors) != 1 or pred is block:
                 continue
             if block.phis():
                 # Single predecessor: every phi is trivially its incoming value.
@@ -75,10 +82,13 @@ def merge_single_predecessor_blocks(function: Function) -> bool:
             for succ in pred.successors:
                 for phi in succ.phis():
                     phi.replace_incoming_block(block, pred)
+                entries = preds.get(succ)
+                if entries is not None:
+                    preds[succ] = [pred if p is block else p for p in entries]
             function.remove_block(block)
+            preds.pop(block, None)
             changed = True
             any_change = True
-            break
     return any_change
 
 
@@ -220,6 +230,7 @@ class SimplifyCFG(FunctionPass):
     """Simplify the control-flow graph."""
 
     name = "simplifycfg"
+    module_independent = True
     description = "Dead block removal, branch folding, block merging, if-conversion"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
@@ -247,6 +258,7 @@ class MergeReturn(FunctionPass):
     """Unify multiple return statements into a single exit block."""
 
     name = "mergereturn"
+    module_independent = True
     description = "Merge multiple function exits into one return block"
 
     def run_on_function(self, function: Function, module: Module) -> bool:

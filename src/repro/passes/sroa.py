@@ -8,6 +8,7 @@ promotable scalar to SSA (LLVM's SROA subsumes mem2reg in the same way).
 from __future__ import annotations
 
 from ..ir import Alloca, Constant, Function, GEP, Load, Module, Store, I32
+from .analysis import PRESERVE_ALL
 from .pass_manager import FunctionPass, register_pass
 from .mem2reg import promotable_allocas, promote_allocas
 
@@ -40,7 +41,11 @@ class SROA(FunctionPass):
     """Scalar replacement of aggregates + promotion to SSA."""
 
     name = "sroa"
+    module_independent = True
     description = "Split constant-indexed stack arrays into scalars and promote them"
+    # Splitting is pure alloca/GEP surgery; promotion preserves analyses for
+    # the same reason mem2reg does (see Mem2Reg.preserves).
+    preserves = PRESERVE_ALL
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
@@ -61,5 +66,6 @@ class SROA(FunctionPass):
                 inst.erase()
                 changed = True
 
-        changed |= promote_allocas(function, promotable_allocas(function))
+        changed |= promote_allocas(function, promotable_allocas(function),
+                                   analysis=self.analysis)
         return changed

@@ -48,6 +48,7 @@ class TailCallElim(FunctionPass):
     """Eliminate self-recursive tail calls by branching back to the loop top."""
 
     name = "tailcall"
+    module_independent = True
     description = "Convert self-recursive tail calls into loops"
 
     def run_on_function(self, function: Function, module: Module) -> bool:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ..ir import (
     BasicBlock, Branch, CondBranch, Constant, Function, Instruction, Loop,
-    LoopInfo, Module, Phi, remove_unreachable_blocks, I1,
+    Module, Phi, remove_unreachable_blocks, I1,
 )
 from ..ir.cloning import clone_instruction
 from .pass_manager import FunctionPass, register_pass
@@ -29,11 +29,13 @@ def clone_loop(loop: Loop, function: Function, suffix: str):
     """
     value_map: dict = {}
     block_map: dict = {}
-    originals = list(loop.blocks)
+    # Defs must be cloned before their cross-block uses (see Loop.body_in_rpo).
+    originals = loop.body_in_rpo()
     for block in originals:
         clone = BasicBlock(function.unique_name(f"{block.name}.{suffix}"), function)
         block_map[block] = clone
         function.blocks.append(clone)
+    function.invalidate_cfg()
     phi_fixups = []
     for block in originals:
         clone = block_map[block]
@@ -58,19 +60,41 @@ def _exits_have_no_phis(loop: Loop) -> bool:
     return all(not e.phis() for e in loop.exit_blocks())
 
 
+def _has_live_outs(loop: Loop) -> bool:
+    """True if a value defined inside the loop is used outside it.
+
+    Versioning duplicates the loop body, after which an in-loop definition no
+    longer dominates uses past the exit (control may flow through the clone).
+    The seed versioned such loops anyway and emitted use-before-def IR; both
+    unswitching passes now bail out instead — consistent with their
+    "memory-form loops only" intent, where values leave the loop via stores.
+    """
+    for block in loop.blocks:
+        for inst in block.instructions:
+            for user in inst.users:
+                if isinstance(user, Instruction) and user.parent is not None \
+                        and user.parent not in loop.blocks:
+                    return True
+    return False
+
+
 @register_pass
 class SimpleLoopUnswitch(FunctionPass):
     """Hoist loop-invariant branches out of loops by versioning the loop."""
 
     name = "simple-loop-unswitch"
+    module_independent = True
     description = "Duplicate loops to specialize loop-invariant conditions"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        loop_info = LoopInfo(function)
+        loop_info = self.analysis.loop_info(function)
         for loop in loop_info.innermost_loops():
+            blocks_before = len(function.blocks)
             preheader = ensure_preheader(loop, function)
-            if preheader is None or not _exits_have_no_phis(loop):
+            changed |= len(function.blocks) != blocks_before
+            if preheader is None or not _exits_have_no_phis(loop) \
+                    or _has_live_outs(loop):
                 continue
             candidate = self._invariant_branch(loop)
             if candidate is None:
@@ -130,14 +154,18 @@ class LoopVersioningLICM(FunctionPass):
     """Version loops behind a (conservative) runtime check, then run licm."""
 
     name = "loop-versioning-licm"
+    module_independent = True
     description = "Loop versioning for LICM with a runtime memory check"
 
     def run_on_function(self, function: Function, module: Module) -> bool:
         changed = False
-        loop_info = LoopInfo(function)
+        loop_info = self.analysis.loop_info(function)
         for loop in loop_info.innermost_loops():
+            blocks_before = len(function.blocks)
             preheader = ensure_preheader(loop, function)
-            if preheader is None or not _exits_have_no_phis(loop):
+            changed |= len(function.blocks) != blocks_before
+            if preheader is None or not _exits_have_no_phis(loop) \
+                    or _has_live_outs(loop):
                 continue
             if loop.header.phis():
                 continue  # keep the duplication simple: memory-form loops only
@@ -150,7 +178,10 @@ class LoopVersioningLICM(FunctionPass):
             preheader.append(CondBranch(Constant(1, I1), loop.header, block_map[loop.header]))
             changed = True
         if changed:
-            # Run licm over the whole function (it will canonicalize again).
-            changed |= LICM(self.config).run_on_function(function, module)
+            # Run licm over the whole function (it will canonicalize again),
+            # sharing this pipeline's analysis manager.
+            licm = LICM(self.config)
+            licm.analysis = self.analysis
+            changed |= licm.run_on_function(function, module)
             remove_unreachable_blocks(function)
         return changed

@@ -9,8 +9,12 @@ from ..ir import (
     Alloca, Argument, BinaryOp, Call, Cast, Constant, GEP, GlobalVariable,
     ICmp, Instruction, Load, Phi, Select, Store, Value, I1, I32,
 )
+from ..ir.interpreter import Interpreter
 
 WORD_MASK = 0xFFFFFFFF
+
+_BINOP = Interpreter._binop
+_ICMP = Interpreter._icmp
 
 
 def to_signed(value: int) -> int:
@@ -20,16 +24,12 @@ def to_signed(value: int) -> int:
 
 def fold_binary(opcode: str, lhs: int, rhs: int) -> int:
     """Constant-fold a binary operation on 32-bit values (RISC-V semantics)."""
-    from ..ir.interpreter import Interpreter
-
-    return Interpreter._binop(opcode, lhs & WORD_MASK, rhs & WORD_MASK)
+    return _BINOP(opcode, lhs & WORD_MASK, rhs & WORD_MASK)
 
 
 def fold_icmp(predicate: str, lhs: int, rhs: int) -> int:
     """Constant-fold an integer comparison; returns 0 or 1."""
-    from ..ir.interpreter import Interpreter
-
-    return int(Interpreter._icmp(predicate, lhs & WORD_MASK, rhs & WORD_MASK))
+    return int(_ICMP(predicate, lhs & WORD_MASK, rhs & WORD_MASK))
 
 
 def constant_value(value: Value) -> Optional[int]:
