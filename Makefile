@@ -8,13 +8,16 @@
 #                        BENCH_emulator.json (perf trajectory across PRs)
 #   make bench-passes    cached vs seed pass-pipeline compile time; writes
 #                        BENCH_passes.json (1.5x bar enforced)
+#   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
+#                        BENCH_backend.json (10% geomean reduction enforced)
+#   make docs-check      markdown link check + GUIDE.md quickstart smoke run
 #   make bench           full pytest-benchmark harness (slow)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-engine figures-smoke bench-engine bench-emulator \
-	bench-passes bench clean-cache
+	bench-passes bench-backend docs-check bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +45,23 @@ BENCH_PASSES_BAR ?= 1.5
 bench-passes:
 	$(PYTHON) benchmarks/bench_passes.py --json BENCH_passes.json \
 		--min-speedup $(BENCH_PASSES_BAR)
+
+# Fails if the optimizing backend's geomean RISC Zero total-cycle reduction
+# over the preserved seed backend drops below 10% at -O3 (override:
+# make bench-backend BENCH_BACKEND_BAR=0.05).
+BENCH_BACKEND_BAR ?= 0.10
+bench-backend:
+	$(PYTHON) benchmarks/bench_backend.py --json BENCH_backend.json \
+		--min-reduction $(BENCH_BACKEND_BAR)
+
+# Link-checks README.md/docs/*.md and smoke-runs the GUIDE.md quickstart.
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docs.py
+	$(PYTHON) -m repro --no-disk-cache run fibonacci --profile=-O2
+	$(PYTHON) -m repro --no-disk-cache measure loop-sum --profile=-O3
+	$(PYTHON) -m repro --no-disk-cache lower fibonacci --stats
+	$(PYTHON) -m repro passes
+	$(PYTHON) -m repro list benchmarks
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

@@ -1,28 +1,104 @@
-"""RISC-V (RV32IM) backend: instruction selection, register allocation and
-frame lowering.
+"""RISC-V (RV32IM) backend: instruction selection, machine-level peephole
+optimization, register allocation and frame lowering.
 
 The top-level entry point is :func:`compile_module`, which turns an IR module
-into an executable :class:`~repro.backend.isa.AssemblyProgram`.
+into an executable :class:`~repro.backend.isa.AssemblyProgram` through the
+optimizing pipeline::
+
+    lowering.py  →  peephole.py  →  regalloc.py  →  frame finalization
+
+The pre-overhaul backend is preserved verbatim in
+:mod:`repro.backend.seed_lowering` and reachable via
+``compile_module(..., seed_backend=True)`` — the ``--seed-backend`` escape
+hatch used by the backend differential tests and ``make bench-backend``.
 """
 
 from ..ir import Module
 from .cost_model import CPU_COST_MODEL, ZKVM_COST_MODEL, TargetCostModel, cost_model_for
 from .isa import AssemblyFunction, AssemblyProgram, Label, MachineInstr, classify
-from .lowering import DATA_SEGMENT_BASE, HOST_CALL_IDS, STACK_TOP, lower_module
-from .regalloc import allocate_registers
+from .lowering import (
+    DATA_SEGMENT_BASE, FunctionLowering, HOST_CALL_IDS, STACK_TOP,
+    lower_module, remove_redundant_jumps,
+)
+from .peephole import cleanup_after_regalloc, run_peephole
+from .regalloc import (
+    LinearScanAllocator, allocate_registers, finalize_frame,
+    weighted_static_cost,
+)
+from .seed_lowering import seed_compile_module
 
 
 def compile_module(module: Module,
-                   cost_model: TargetCostModel = CPU_COST_MODEL) -> AssemblyProgram:
-    """Lower ``module`` to RV32IM and run register allocation on every function."""
+                   cost_model: TargetCostModel = CPU_COST_MODEL,
+                   seed_backend: bool = False) -> AssemblyProgram:
+    """Lower ``module`` to RV32IM and run the full backend on every function.
+
+    ``seed_backend=True`` routes the compile through the preserved seed
+    backend instead (:func:`repro.backend.seed_lowering.seed_compile_module`)
+    for differential testing and benchmarking.
+
+    The returned program carries ``backend_stats``: per-function dicts of
+    static size before/after the peephole passes, per-rule peephole hit
+    counts, and the allocator's spill statistics (``repro lower --stats``
+    renders them).
+    """
+    if seed_backend:
+        return seed_compile_module(module, cost_model)
     program = lower_module(module, cost_model)
-    for asm in program.functions.values():
-        allocate_registers(asm)
+    ir_functions = {f.name: f for f in module.defined_functions()}
+    backend_stats: dict[str, dict] = {}
+    for name, asm in list(program.functions.items()):
+        stats = _run_backend_pipeline(asm)
+        if stats["spilled_vregs"] >= _HOIST_RETRY_SPILLS:
+            # Loop-invariant hoisting raised register pressure enough to
+            # spill; re-lower without it and keep the cheaper variant (by
+            # the same loop-weighted cost the spill heuristic optimizes).
+            retry = FunctionLowering(ir_functions[name], program, cost_model,
+                                     hoist_limit=0).lower()
+            remove_redundant_jumps(retry)
+            retry_stats = _run_backend_pipeline(retry)
+            if retry_stats["weighted_cost"] < stats["weighted_cost"]:
+                program.functions[name] = retry
+                stats = retry_stats
+                stats["hoisting_disabled"] = True
+        backend_stats[name] = stats
+    program.backend_stats = backend_stats
     return program
 
 
+#: Spilled-vreg count at which ``compile_module`` re-lowers a function with
+#: loop-invariant hoisting disabled and keeps the cheaper variant.
+_HOIST_RETRY_SPILLS = 4
+
+
+def _run_backend_pipeline(asm: AssemblyFunction) -> dict:
+    """Peephole → allocate → cleanup → finalize one function, in place.
+
+    Returns the per-function entry for ``AssemblyProgram.backend_stats``.
+    """
+    lowered = len(asm.instructions())
+    peephole_hits = run_peephole(asm)
+    allocator = LinearScanAllocator(asm)
+    allocator.run()
+    cleanup_hits = cleanup_after_regalloc(asm)
+    finalize_frame(asm, allocator.used_callee_saved)
+    for key, value in cleanup_hits.items():
+        peephole_hits[key] = peephole_hits.get(key, 0) + value
+    return {
+        "lowered_instructions": lowered,
+        "final_instructions": len(asm.instructions()),
+        "frame_bytes": asm.frame_size,
+        "spilled_vregs": allocator.spilled_vregs,
+        "spill_loads": allocator.spill_loads,
+        "spill_stores": allocator.spill_stores,
+        "weighted_cost": weighted_static_cost(asm),
+        "peephole": peephole_hits,
+    }
+
+
 __all__ = [
-    "compile_module", "lower_module", "allocate_registers",
+    "compile_module", "seed_compile_module", "lower_module",
+    "allocate_registers", "run_peephole", "cleanup_after_regalloc",
     "AssemblyFunction", "AssemblyProgram", "Label", "MachineInstr", "classify",
     "TargetCostModel", "CPU_COST_MODEL", "ZKVM_COST_MODEL", "cost_model_for",
     "DATA_SEGMENT_BASE", "HOST_CALL_IDS", "STACK_TOP",

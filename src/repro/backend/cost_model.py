@@ -44,4 +44,5 @@ ZKVM_COST_MODEL = TargetCostModel(
 
 
 def cost_model_for(zkvm_aware: bool) -> TargetCostModel:
+    """The backend cost model for a compilation mode: zkVM-aware or CPU."""
     return ZKVM_COST_MODEL if zkvm_aware else CPU_COST_MODEL

@@ -35,6 +35,12 @@ ALU_OPS = frozenset([
     "sll", "slli", "srl", "srli", "sra", "srai",
     "slt", "slti", "sltu", "sltiu", "lui", "auipc", "li", "mv", "neg", "seqz", "snez",
 ])
+#: Conditional-branch inversions (``taken`` and ``not taken`` swapped),
+#: shared by the lowering's copy-free-edge inversion and the peephole's
+#: branch-over-jump flip so the two can never drift apart.
+INVERTED_BRANCHES = {"beq": "bne", "bne": "beq", "blt": "bge", "bge": "blt",
+                     "bltu": "bgeu", "bgeu": "bltu",
+                     "beqz": "bnez", "bnez": "beqz"}
 MUL_OPS = frozenset(["mul", "mulh", "mulhu", "mulhsu"])
 DIV_OPS = frozenset(["div", "divu", "rem", "remu"])
 LOAD_OPS = frozenset(["lw", "lb", "lbu", "lh", "lhu"])
@@ -64,22 +70,27 @@ class MachineInstr:
 
     @property
     def is_branch(self) -> bool:
+        """True for conditional branches and the unconditional ``j``."""
         return self.opcode in BRANCH_OPS
 
     @property
     def is_jump(self) -> bool:
+        """True for ``jal``/``jalr``/``call``/``ret``."""
         return self.opcode in JUMP_OPS
 
     @property
     def is_load(self) -> bool:
+        """True for memory loads (``lw`` and the byte/half variants)."""
         return self.opcode in LOAD_OPS
 
     @property
     def is_store(self) -> bool:
+        """True for memory stores (``sw``/``sb``/``sh``)."""
         return self.opcode in STORE_OPS
 
     @property
     def is_terminator_like(self) -> bool:
+        """True when the instruction ends a machine basic block."""
         return self.is_branch or self.is_jump
 
 
@@ -95,13 +106,21 @@ class Label:
 
 @dataclass
 class AssemblyFunction:
-    """Lowered machine code for one function."""
+    """Lowered machine code for one function.
+
+    ``label_depths`` maps each block label to its IR loop depth (0 = not in a
+    loop); the lowering records it so the register allocator can weight spill
+    decisions by how hot a use position is without re-deriving loop structure
+    at the machine level.
+    """
 
     name: str
     body: list = field(default_factory=list)  # MachineInstr | Label
     frame_size: int = 0
+    label_depths: dict = field(default_factory=dict)  # label name -> loop depth
 
     def instructions(self) -> list[MachineInstr]:
+        """The function's instructions, with labels filtered out."""
         return [item for item in self.body if isinstance(item, MachineInstr)]
 
     def __str__(self) -> str:
@@ -116,7 +135,12 @@ class AssemblyFunction:
 
 @dataclass
 class AssemblyProgram:
-    """A fully lowered module: functions plus global data layout."""
+    """A fully lowered module: functions plus global data layout.
+
+    Programs compiled by the optimizing backend additionally carry a
+    ``backend_stats`` attribute (per-function static counts, spill and
+    peephole statistics) — see :func:`repro.backend.compile_module`.
+    """
 
     functions: dict[str, AssemblyFunction] = field(default_factory=dict)
     globals_layout: dict[str, int] = field(default_factory=dict)  # name -> address
@@ -124,6 +148,7 @@ class AssemblyProgram:
     data_end: int = 0
 
     def total_static_instructions(self) -> int:
+        """Static instruction count across all functions (labels excluded)."""
         return sum(len(f.instructions()) for f in self.functions.values())
 
     def __getstate__(self) -> dict:

@@ -1,4 +1,4 @@
-"""Register allocation: linear scan over virtual registers with spilling.
+"""Register allocation: lifetime-hole-aware linear scan with spilling.
 
 This is where the register-pressure effects the paper discusses become real:
 transformations that lengthen live ranges (aggressive inlining, hoisting by
@@ -6,6 +6,25 @@ licm) can push the number of simultaneously live values past the physical
 register file, forcing spill loads/stores inside hot loops — cheap on a CPU
 with a store buffer and an L1 hit, expensive on a zkVM where every spill is
 another proven instruction and a potential page touch.
+
+The allocator (rewritten in the backend code-quality overhaul; the seed's
+single-range scan survives in :mod:`repro.backend.seed_lowering`) improves on
+classic linear scan in three ways:
+
+* **Lifetime holes.**  A virtual register's liveness is a list of disjoint
+  segments, not one [start, end] envelope; a physical register is free for
+  reuse inside another interval's holes (second-chance binpacking), which
+  matters for the long, sparsely-used values produced by loop-invariant
+  hoisting.
+* **Loop-aware spill weights.**  Every use/def position is weighted by
+  ``10 ** loop_depth`` (depths come from the lowering via
+  ``AssemblyFunction.label_depths``); when registers run out, the victim is
+  the cheapest conflicting interval, so spill code lands outside hot loops.
+* **Callee-saved preference for call-crossing intervals.**  An interval live
+  across a ``call``/``ecall`` only ever gets a callee-saved register (the
+  seed rule), and non-crossing intervals prefer caller-saved registers so
+  the callee-saved pool — which costs a save/restore pair in the frame —
+  stays available for the values that need it.
 """
 
 from __future__ import annotations
@@ -31,6 +50,20 @@ def instr_registers(instr: MachineInstr) -> tuple[list, list]:
     """(defs, uses) positions of register operands for an instruction.
 
     Returns two lists of operand *indices* so rewriting is straightforward.
+    The classification mirrors the executable semantics in
+    :mod:`repro.emulator.decoder` exactly — ``tests/test_backend_emulator.py``
+    locks the two down against each other with a table-driven test:
+
+    * stores (``sw``/``sb``/``sh``, operands ``value, offset, base``) read
+      both registers and write none;
+    * conditional branches read their one or two source registers;
+    * ``j``/``call``/``ret``/``ecall``/``ebreak``/``nop`` define no register
+      operand (``call`` writes ``ra`` and ``ecall`` writes ``a0``, but those
+      are fixed physical registers, never allocatable operands);
+    * ``jal rd, label`` and ``jalr rd, base, offset`` write ``rd`` (the link
+      register) and ``jalr`` additionally reads ``base``;
+    * everything else (ALU, loads, ``li``/``lui``/``mv``) writes its first
+      register operand and reads the rest.
     """
     opcode = instr.opcode
     ops = instr.operands
@@ -52,12 +85,38 @@ def instr_registers(instr: MachineInstr) -> tuple[list, list]:
 
 @dataclass
 class LiveInterval:
+    """Liveness of one virtual register as disjoint [start, end] segments."""
+
     vreg: str
-    start: int
-    end: int
+    segments: list = field(default_factory=list)  # sorted (start, end) pairs
+    weight: float = 0.0
     crosses_call: bool = False
     assigned: str | None = None
     spill_slot: int | None = None
+
+    @property
+    def start(self) -> int:
+        return self.segments[0][0]
+
+    @property
+    def end(self) -> int:
+        return self.segments[-1][1]
+
+    def overlaps(self, other_segments: list) -> bool:
+        """True when any of this interval's segments intersects any of
+        ``other_segments`` (both sorted)."""
+        i = j = 0
+        mine = self.segments
+        while i < len(mine) and j < len(other_segments):
+            a_start, a_end = mine[i]
+            b_start, b_end = other_segments[j]
+            if a_end < b_start:
+                i += 1
+            elif b_end < a_start:
+                j += 1
+            else:
+                return True
+        return False
 
 
 def _block_boundaries(body: list) -> list[tuple[int, int]]:
@@ -76,13 +135,41 @@ def _block_boundaries(body: list) -> list[tuple[int, int]]:
     return [b for b in boundaries if b[0] < b[1]]
 
 
-def compute_live_intervals(body: list) -> dict[str, LiveInterval]:
-    """Conservative single-range live intervals with CFG-aware extension.
+def position_depths(asm: AssemblyFunction) -> list[int]:
+    """Loop depth per body position, derived from the lowering's label depths."""
+    depths = []
+    current = 0
+    for item in asm.body:
+        if isinstance(item, Label):
+            current = asm.label_depths.get(item.name, current)
+        depths.append(current)
+    return depths
 
-    Uses iterative liveness over the machine basic blocks, then collapses each
-    vreg's live positions into one [start, end] range (standard linear scan).
+
+def weighted_static_cost(asm: AssemblyFunction) -> float:
+    """A loop-weighted proxy for a function's dynamic instruction count.
+
+    Each instruction counts ``10 ** loop_depth`` — the same weighting the
+    spill heuristic uses — so two compiled variants of one function can be
+    compared without emulating them (see the hoist-retry in
+    :func:`repro.backend.compile_module`).
     """
-    # Map labels to the block that starts there.
+    depths = position_depths(asm)
+    return sum(10 ** depths[index]
+               for index, item in enumerate(asm.body)
+               if isinstance(item, MachineInstr))
+
+
+def compute_live_intervals(body: list,
+                           depths: list | None = None) -> dict[str, LiveInterval]:
+    """Hole-aware live intervals with CFG-aware extension.
+
+    Runs iterative liveness over the machine basic blocks, then walks each
+    block backwards to carve every vreg's liveness into precise [start, end]
+    segments — the holes between segments are what the allocator binpacks.
+    ``depths`` (per-position loop depth) feeds the spill weights; omitted,
+    every position weighs 1.
+    """
     blocks = _block_boundaries(body)
     label_to_block = {}
     for block_index, (start, end) in enumerate(blocks):
@@ -151,94 +238,151 @@ def compute_live_intervals(body: list) -> dict[str, LiveInterval]:
                 changed = True
 
     intervals: dict[str, LiveInterval] = {}
+    raw_segments: dict[str, list] = {}
 
-    def touch(vreg: str, position: int) -> None:
+    def interval_for(vreg: str) -> LiveInterval:
         interval = intervals.get(vreg)
         if interval is None:
-            intervals[vreg] = LiveInterval(vreg, position, position)
-        else:
-            interval.start = min(interval.start, position)
-            interval.end = max(interval.end, position)
+            interval = intervals[vreg] = LiveInterval(vreg)
+            raw_segments[vreg] = []
+        return interval
 
+    # Backward walk per block: carve per-vreg live segments.
     for block_index, (start, end) in enumerate(blocks):
-        for vreg in live_in[block_index]:
-            touch(vreg, start)
-        for vreg in live_out[block_index]:
-            touch(vreg, end - 1)
-        for position in range(start, end):
+        open_end: dict[str, int] = {vreg: end - 1 for vreg in live_out[block_index]}
+        for vreg in open_end:
+            interval_for(vreg)
+        for position in range(end - 1, start - 1, -1):
             item = body[position]
             if not isinstance(item, MachineInstr):
                 continue
             def_positions, use_positions = instr_registers(item)
-            for pos in def_positions + use_positions:
+            for pos in def_positions:
                 reg = item.operands[pos]
-                if _is_vreg(reg):
-                    touch(reg, position)
+                if not _is_vreg(reg):
+                    continue
+                interval = interval_for(reg)
+                weight = 10 ** depths[position] if depths else 1
+                interval.weight += weight
+                segment_end = open_end.pop(reg, position)
+                raw_segments[reg].append((position, segment_end))
+            for pos in use_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                interval = interval_for(reg)
+                weight = 10 ** depths[position] if depths else 1
+                interval.weight += weight
+                if reg not in open_end:
+                    open_end[reg] = position
+        for vreg, segment_end in open_end.items():
+            # Live into the block: the segment spans from the block start.
+            raw_segments[vreg].append((start, segment_end))
 
-    # Mark intervals that are live across a call (they need callee-saved regs).
+    # Sort and merge touching segments.
     call_positions = [i for i, item in enumerate(body)
-                      if isinstance(item, MachineInstr) and item.opcode in ("call", "ecall")]
-    for interval in intervals.values():
-        interval.crosses_call = any(interval.start < p < interval.end
-                                    for p in call_positions)
+                      if isinstance(item, MachineInstr)
+                      and item.opcode in ("call", "ecall")]
+    for vreg, interval in intervals.items():
+        merged: list[tuple[int, int]] = []
+        for seg_start, seg_end in sorted(raw_segments[vreg]):
+            if merged and seg_start <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0],
+                              max(merged[-1][1], seg_end))
+            else:
+                merged.append((seg_start, seg_end))
+        interval.segments = merged
+        # A call/ecall has no virtual-register operands, so a segment that
+        # covers the call position (inclusively: ``call`` terminates a
+        # machine block, ending live-through segments exactly at it) can only
+        # be a value that must survive the call.
+        interval.crosses_call = any(
+            seg_start <= p <= seg_end
+            for p in call_positions
+            for seg_start, seg_end in merged)
     return intervals
 
 
 class LinearScanAllocator:
-    """Classic linear-scan register allocation with furthest-end spilling."""
+    """Hole-aware linear scan with weighted eviction.
+
+    Intervals are visited in start order; each tries the registers of its
+    preferred pool (callee-saved for call-crossing intervals, caller-saved
+    otherwise) and takes the first whose already-assigned segments leave its
+    own segments free — the "second chance" that packs short intervals into
+    the lifetime holes of long ones.  When nothing fits, the conflicting
+    intervals on the cheapest register are evicted if their combined spill
+    weight is lower than the newcomer's; otherwise the newcomer spills.
+    """
 
     def __init__(self, asm: AssemblyFunction):
         self.asm = asm
         self.used_callee_saved: set[str] = set()
         self.spill_slots: dict[str, int] = {}
         self.next_spill_slot = 0
+        #: Statistics surfaced by ``repro lower --stats``.
+        self.spilled_vregs = 0
+        self.spill_loads = 0
+        self.spill_stores = 0
 
     def run(self) -> None:
         body = self.asm.body
-        intervals = compute_live_intervals(body)
-        ordered = sorted(intervals.values(), key=lambda iv: iv.start)
+        depths = position_depths(self.asm)
+        #: Exposed for tests and diagnostics: vreg -> final LiveInterval.
+        self.intervals = intervals = compute_live_intervals(body, depths)
+        # Spilling a rematerializable value costs one ALU op per use (no
+        # store, no memory traffic), roughly half the price of a genuine
+        # reload-plus-spill — discount it so the allocator prefers dropping
+        # a cached constant over spilling a loop-carried value.  The scan is
+        # shared with _rewrite(), which consults the same table.
+        self._remat_templates = self._rematerializable()
+        for vreg in self._remat_templates:
+            if vreg in intervals:
+                intervals[vreg].weight *= 0.5
+        ordered = sorted(intervals.values(),
+                         key=lambda iv: (iv.start, -iv.weight))
 
-        active: list[LiveInterval] = []
-        free_caller = list(ALLOCATABLE_CALLER)
-        free_callee = list(ALLOCATABLE_CALLEE)
+        #: register -> list of (segments, interval) assigned to it.
+        occupancy: dict[str, list] = {
+            reg: [] for reg in ALLOCATABLE_CALLER + ALLOCATABLE_CALLEE}
 
-        def expire(position: int) -> None:
-            for interval in list(active):
-                if interval.end < position:
-                    active.remove(interval)
-                    if interval.assigned in ALLOCATABLE_CALLER:
-                        free_caller.append(interval.assigned)
-                    elif interval.assigned in ALLOCATABLE_CALLEE:
-                        free_callee.append(interval.assigned)
+        def fits(interval: LiveInterval, register: str) -> bool:
+            return not any(interval.overlaps(segments)
+                           for segments, _ in occupancy[register])
+
+        def assign(interval: LiveInterval, register: str) -> None:
+            interval.assigned = register
+            occupancy[register].append((interval.segments, interval))
+            if register in CALLEE_SAVED:
+                self.used_callee_saved.add(register)
 
         for interval in ordered:
-            expire(interval.start)
-            pools = ([free_callee, free_caller] if interval.crosses_call
-                     else [free_caller, free_callee])
-            register = None
-            for pool in pools:
-                if pool:
-                    # Don't give a caller-saved register to a call-crossing range.
-                    if interval.crosses_call and pool is free_caller:
-                        continue
-                    register = pool.pop(0)
-                    break
+            if interval.crosses_call:
+                candidates = ALLOCATABLE_CALLEE
+            else:
+                candidates = ALLOCATABLE_CALLER + ALLOCATABLE_CALLEE
+            register = next((reg for reg in candidates
+                             if fits(interval, reg)), None)
             if register is not None:
-                interval.assigned = register
-                if register in CALLEE_SAVED:
-                    self.used_callee_saved.add(register)
-                active.append(interval)
+                assign(interval, register)
                 continue
-            # Spill: choose between this interval and the active one ending last.
-            candidates = [iv for iv in active
-                          if not interval.crosses_call or iv.assigned in CALLEE_SAVED]
-            victim = max(candidates, key=lambda iv: iv.end, default=None)
-            if victim is not None and victim.end > interval.end:
-                interval.assigned = victim.assigned
-                active.remove(victim)
-                active.append(interval)
-                victim.assigned = None
-                self._assign_spill_slot(victim)
+            # Eviction: spill the cheapest conflicting set if it is cheaper
+            # than spilling the newcomer.
+            best_register = None
+            best_weight = None
+            for reg in candidates:
+                conflicting = [iv for segments, iv in occupancy[reg]
+                               if interval.overlaps(segments)]
+                conflict_weight = sum(iv.weight for iv in conflicting)
+                if best_weight is None or conflict_weight < best_weight:
+                    best_register, best_weight = reg, conflict_weight
+            if best_register is not None and best_weight < interval.weight:
+                for segments, victim in list(occupancy[best_register]):
+                    if interval.overlaps(segments):
+                        occupancy[best_register].remove((segments, victim))
+                        victim.assigned = None
+                        self._assign_spill_slot(victim)
+                assign(interval, best_register)
             else:
                 self._assign_spill_slot(interval)
 
@@ -250,11 +394,49 @@ class LinearScanAllocator:
             self.next_spill_slot += 1
         interval.spill_slot = self.spill_slots[interval.vreg]
 
+    def _rematerializable(self) -> dict[str, MachineInstr]:
+        """Spilled-value definitions that can be recomputed at each use.
+
+        A virtual register defined exactly once by ``li`` (a constant) or by
+        ``addi …, sp, imm`` (a frame address; ``sp`` only moves in the
+        prologue/epilogue, outside the allocated body) never needs a stack
+        slot: its defining instruction is deleted and re-emitted into the
+        scratch register at each use.  This is what makes the lowering's
+        loop-invariant hoisting safe under register pressure — a hoisted
+        constant that loses its register degrades back to the seed's
+        materialize-per-use, never to a reload-per-use plus store.
+        """
+        def_counts: dict[str, int] = {}
+        templates: dict[str, MachineInstr] = {}
+        for item in self.asm.body:
+            if not isinstance(item, MachineInstr):
+                continue
+            def_positions, _ = instr_registers(item)
+            for pos in def_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                def_counts[reg] = def_counts.get(reg, 0) + 1
+                if item.opcode == "li" and isinstance(item.operands[1], int):
+                    templates[reg] = item
+                elif item.opcode == "addi" and item.operands[1] == "sp" \
+                        and isinstance(item.operands[2], int):
+                    templates[reg] = item
+        return {reg: instr for reg, instr in templates.items()
+                if def_counts.get(reg) == 1}
+
     def _rewrite(self, intervals: dict[str, LiveInterval]) -> None:
         """Replace virtual registers with physical ones; insert spill code."""
         assignment = {iv.vreg: iv.assigned for iv in intervals.values()}
-        spills = {iv.vreg: iv.spill_slot for iv in intervals.values()
-                  if iv.assigned is None}
+        spilled = {iv.vreg for iv in intervals.values() if iv.assigned is None}
+        remat = {reg: instr for reg, instr in self._remat_templates.items()
+                 if reg in spilled}
+        slots: dict[str, int] = {}
+        for interval in intervals.values():
+            if interval.assigned is None and interval.vreg not in remat:
+                self._assign_spill_slot(interval)
+                slots[interval.vreg] = interval.spill_slot
+        self.spilled_vregs = len(spilled)
 
         new_body: list = []
         for item in self.asm.body:
@@ -266,6 +448,8 @@ class LinearScanAllocator:
             reloads: list[MachineInstr] = []
             stores: list[MachineInstr] = []
             replacements: dict[int, str] = {}
+            reloaded: dict[str, str] = {}  # spilled vreg -> scratch this instr
+            drop_instruction = False
 
             for pos in use_positions:
                 reg = item.operands[pos]
@@ -273,12 +457,20 @@ class LinearScanAllocator:
                     continue
                 if assignment.get(reg):
                     replacements[pos] = assignment[reg]
+                elif reg in reloaded:
+                    replacements[pos] = reloaded[reg]
                 else:
-                    slot = spills.get(reg, 0)
                     scratch = scratch_pool.pop(0) if scratch_pool else SPILL_SCRATCH[0]
-                    reloads.append(MachineInstr("lw", [scratch, slot, "sp"],
-                                                comment=f"reload {reg}"))
-                    replacements[pos] = scratch
+                    template = remat.get(reg)
+                    if template is not None:
+                        reloads.append(MachineInstr(
+                            template.opcode, [scratch, *template.operands[1:]],
+                            comment=f"remat {reg}"))
+                    else:
+                        reloads.append(MachineInstr(
+                            "lw", [scratch, slots.get(reg, 0), "sp"],
+                            comment=f"reload {reg}"))
+                    replacements[pos] = reloaded[reg] = scratch
 
             for pos in def_positions:
                 reg = item.operands[pos]
@@ -286,15 +478,22 @@ class LinearScanAllocator:
                     continue
                 if assignment.get(reg):
                     replacements[pos] = assignment[reg]
+                elif reg in remat:
+                    # The value is recomputed at each use; its one definition
+                    # carries no other side effect and simply disappears.
+                    drop_instruction = True
                 else:
-                    slot = spills.get(reg, 0)
-                    scratch = SPILL_SCRATCH[-1]
-                    replacements[pos] = scratch
-                    stores.append(MachineInstr("sw", [scratch, slot, "sp"],
-                                               comment=f"spill {reg}"))
+                    replacements[pos] = SPILL_SCRATCH[-1]
+                    stores.append(MachineInstr(
+                        "sw", [SPILL_SCRATCH[-1], slots.get(reg, 0), "sp"],
+                        comment=f"spill {reg}"))
 
+            if drop_instruction:
+                continue
             for pos, reg in replacements.items():
                 item.operands[pos] = reg
+            self.spill_loads += len(reloads)
+            self.spill_stores += len(stores)
             new_body.extend(reloads)
             new_body.append(item)
             new_body.extend(stores)

@@ -1,0 +1,760 @@
+"""The seed backend, preserved verbatim: naive lowering + single-range
+linear scan.
+
+This module freezes the backend exactly as it stood before the code-quality
+overhaul (PR 4), the same way :mod:`repro.emulator.reference` preserves the
+seed interpreter and :mod:`repro.passes.seed_analysis` preserves the seed
+pass manager.  It is the *differential oracle and benchmark baseline* for the
+optimizing backend:
+
+* ``tests/test_backend_differential.py`` proves the optimizing backend
+  (:func:`repro.backend.compile_module`) produces identical guest outputs for
+  every benchmark under both paper profiles;
+* ``benchmarks/bench_backend.py`` / ``make bench-backend`` enforce the >=10%
+  geomean RISC Zero total-cycle reduction against this baseline;
+* the ``--seed-backend`` escape hatch (CLI, runner, engine) routes every
+  compile through :func:`seed_compile_module` for A/B measurements.
+
+Nothing here should change behaviour; only mechanical edits (imports, the
+``seed_`` entry-point names, this docstring) differ from the seed sources.
+The seed's lowering deliberately materialized every constant and address
+eagerly, used one staging register per phi, allocated one [start, end] range
+per virtual register, and did no machine-level cleanup -- exactly the
+redundancy the optimizing backend removes.
+"""
+
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import (
+    Alloca, Argument, BasicBlock, BinaryOp, Branch, Call, Cast, CondBranch,
+    Constant, Function, GEP, GlobalVariable, ICmp, Instruction, Load, Module,
+    Phi, Ret, Select, Store, UndefValue, Unreachable, Value, I1,
+)
+from .cost_model import TargetCostModel, CPU_COST_MODEL
+from .isa import (
+    ARGUMENT_REGISTERS, AssemblyFunction, AssemblyProgram, Label, MachineInstr,
+)
+
+#: Host-call ABI: name -> ecall id (placed in a7).
+HOST_CALL_IDS = {
+    "__print": 1,
+    "__read_input": 2,
+    "__sha256": 3,
+    "__keccak256": 4,
+    "__ecdsa_verify": 5,
+    "__eddsa_verify": 6,
+    "__bigint_modmul": 7,
+    "__halt": 0,
+}
+
+DATA_SEGMENT_BASE = 0x0001_0000
+STACK_TOP = 0x0400_0000
+IMM_MIN, IMM_MAX = -2048, 2047
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class SeedFunctionLowering:
+    """Lowers a single IR function to machine code with virtual registers."""
+
+    def __init__(self, function: Function, program: AssemblyProgram,
+                 cost_model: TargetCostModel):
+        self.function = function
+        self.program = program
+        self.cost_model = cost_model
+        self.asm = AssemblyFunction(function.name)
+        self.vreg_counter = 0
+        self.value_regs: dict[int, str] = {}      # id(value) -> vreg
+        self.alloca_offsets: dict[int, int] = {}  # id(alloca) -> frame offset
+        self.frame_bytes = 0
+        self.block_labels: dict[int, str] = {}
+        self.phi_temps: dict[int, str] = {}       # id(phi) -> staging vreg
+
+    # -- small helpers -----------------------------------------------------
+    def new_vreg(self, hint: str = "v") -> str:
+        self.vreg_counter += 1
+        return f"%{hint}{self.vreg_counter}"
+
+    def emit(self, opcode: str, *operands, comment: str = "") -> MachineInstr:
+        instr = MachineInstr(opcode, list(operands), comment)
+        self.asm.body.append(instr)
+        return instr
+
+    def emit_label(self, name: str) -> None:
+        self.asm.body.append(Label(name))
+
+    def label_for(self, block: BasicBlock) -> str:
+        key = id(block)
+        if key not in self.block_labels:
+            self.block_labels[key] = f".{self.function.name}.{block.name}"
+        return self.block_labels[key]
+
+    def reg_for(self, value: Value) -> str:
+        """The virtual register holding ``value`` (materializing constants)."""
+        if isinstance(value, Constant):
+            reg = self.new_vreg("c")
+            self.emit("li", reg, value.signed_value)
+            return reg
+        if isinstance(value, UndefValue):
+            reg = self.new_vreg("u")
+            self.emit("li", reg, 0)
+            return reg
+        if isinstance(value, GlobalVariable):
+            reg = self.new_vreg("g")
+            self.emit("li", reg, self.program.globals_layout[value.name],
+                      comment=f"&{value.name}")
+            return reg
+        if isinstance(value, Alloca):
+            offset = self.alloca_offsets[id(value)]
+            reg = self.new_vreg("fp")
+            self.emit("addi", reg, "sp", offset, comment=f"&{value.name}")
+            return reg
+        key = id(value)
+        if key not in self.value_regs:
+            self.value_regs[key] = self.new_vreg()
+        return self.value_regs[key]
+
+    def result_reg(self, inst: Instruction) -> str:
+        key = id(inst)
+        if key not in self.value_regs:
+            self.value_regs[key] = self.new_vreg()
+        return self.value_regs[key]
+
+    # -- driver ---------------------------------------------------------------
+    def lower(self) -> AssemblyFunction:
+        # Assign frame slots for allocas.
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, Alloca):
+                    self.alloca_offsets[id(inst)] = self.frame_bytes
+                    self.frame_bytes += max(4, inst.size_bytes)
+        self.asm.frame_size = self.frame_bytes
+
+        # Copy incoming arguments out of a0..a7.
+        for index, argument in enumerate(self.function.arguments):
+            if index < len(ARGUMENT_REGISTERS):
+                self.emit("mv", self.reg_for(argument), ARGUMENT_REGISTERS[index],
+                          comment=f"arg {argument.name}")
+
+        # Pre-create staging registers for every phi.
+        for block in self.function.blocks:
+            for phi in block.phis():
+                self.phi_temps[id(phi)] = self.new_vreg("phi")
+
+        for block in self.function.blocks:
+            self.emit_label(self.label_for(block))
+            # Phi results are read from their staging registers on block entry.
+            for phi in block.phis():
+                self.emit("mv", self.result_reg(phi), self.phi_temps[id(phi)],
+                          comment=f"phi {phi.name}")
+            for inst in block.non_phi_instructions():
+                self.lower_instruction(inst, block)
+        return self.asm
+
+    # -- per-instruction lowering --------------------------------------------
+    def lower_instruction(self, inst: Instruction, block: BasicBlock) -> None:
+        if isinstance(inst, Alloca):
+            return  # handled via frame slots
+        if isinstance(inst, BinaryOp):
+            self.lower_binop(inst)
+        elif isinstance(inst, ICmp):
+            # A compare whose only user is this block's conditional branch is
+            # fused into the branch; don't materialize it twice.
+            if len(inst.users) == 1 and isinstance(inst.users[0], CondBranch) \
+                    and inst.users[0].parent is block \
+                    and inst.predicate in (*self._BRANCH_OPCODES, *self._SWAPPED_BRANCHES):
+                return
+            self.lower_icmp_value(inst)
+        elif isinstance(inst, Select):
+            self.lower_select(inst)
+        elif isinstance(inst, Load):
+            self.emit("lw", self.result_reg(inst), 0, self.reg_for(inst.pointer))
+        elif isinstance(inst, Store):
+            self.emit("sw", self.reg_for(inst.value), 0, self.reg_for(inst.pointer))
+        elif isinstance(inst, GEP):
+            self.lower_gep(inst)
+        elif isinstance(inst, Cast):
+            self.lower_cast(inst)
+        elif isinstance(inst, Call):
+            self.lower_call(inst)
+        elif isinstance(inst, Branch):
+            self.lower_phi_moves(block, inst.target)
+            self.emit("j", self.label_for(inst.target))
+        elif isinstance(inst, CondBranch):
+            self.lower_cond_branch(inst, block)
+        elif isinstance(inst, Ret):
+            if inst.value is not None:
+                self.emit("mv", "a0", self.reg_for(inst.value))
+            self.emit("ret")
+        elif isinstance(inst, Unreachable):
+            self.emit("ebreak")
+        else:
+            raise NotImplementedError(f"cannot lower {type(inst).__name__}")
+
+    _BINOP_OPCODES = {
+        "add": "add", "sub": "sub", "mul": "mul", "sdiv": "div", "udiv": "divu",
+        "srem": "rem", "urem": "remu", "and": "and", "or": "or", "xor": "xor",
+        "shl": "sll", "lshr": "srl", "ashr": "sra",
+    }
+    _IMMEDIATE_FORMS = {"add": "addi", "and": "andi", "or": "ori", "xor": "xori",
+                        "shl": "slli", "lshr": "srli", "ashr": "srai"}
+
+    def lower_binop(self, inst: BinaryOp) -> None:
+        dest = self.result_reg(inst)
+        rhs_const = inst.rhs.signed_value if isinstance(inst.rhs, Constant) else None
+        # Immediate forms when the constant fits.
+        if rhs_const is not None and inst.opcode in self._IMMEDIATE_FORMS \
+                and IMM_MIN <= rhs_const <= IMM_MAX:
+            self.emit(self._IMMEDIATE_FORMS[inst.opcode], dest,
+                      self.reg_for(inst.lhs), rhs_const)
+            return
+        if rhs_const is not None and inst.opcode == "sub" \
+                and IMM_MIN <= -rhs_const <= IMM_MAX:
+            self.emit("addi", dest, self.reg_for(inst.lhs), -rhs_const)
+            return
+        # Multiplication by a power of two: shift when the cost model says so.
+        if rhs_const is not None and inst.opcode == "mul" \
+                and self.cost_model.expand_mul_by_constant and _is_power_of_two(rhs_const):
+            self.emit("slli", dest, self.reg_for(inst.lhs), rhs_const.bit_length() - 1)
+            return
+        self.emit(self._BINOP_OPCODES[inst.opcode], dest,
+                  self.reg_for(inst.lhs), self.reg_for(inst.rhs))
+
+    def lower_icmp_value(self, inst: ICmp) -> None:
+        """Materialize a comparison result as 0/1 in a register."""
+        dest = self.result_reg(inst)
+        lhs, rhs = self.reg_for(inst.lhs), self.reg_for(inst.rhs)
+        predicate = inst.predicate
+        if predicate == "eq":
+            tmp = self.new_vreg()
+            self.emit("xor", tmp, lhs, rhs)
+            self.emit("sltiu", dest, tmp, 1)
+        elif predicate == "ne":
+            tmp = self.new_vreg()
+            self.emit("xor", tmp, lhs, rhs)
+            self.emit("sltu", dest, "zero", tmp)
+        elif predicate in ("slt", "ult"):
+            self.emit("slt" if predicate == "slt" else "sltu", dest, lhs, rhs)
+        elif predicate in ("sgt", "ugt"):
+            self.emit("slt" if predicate == "sgt" else "sltu", dest, rhs, lhs)
+        elif predicate in ("sle", "ule"):
+            self.emit("slt" if predicate == "sle" else "sltu", dest, rhs, lhs)
+            self.emit("xori", dest, dest, 1)
+        elif predicate in ("sge", "uge"):
+            self.emit("slt" if predicate == "sge" else "sltu", dest, lhs, rhs)
+            self.emit("xori", dest, dest, 1)
+        else:
+            raise NotImplementedError(predicate)
+
+    def lower_select(self, inst: Select) -> None:
+        dest = self.result_reg(inst)
+        cond = self.reg_for(inst.condition)
+        true_reg = self.reg_for(inst.true_value)
+        false_reg = self.reg_for(inst.false_value)
+        if self.cost_model.prefer_branchless_select:
+            # mask = -cond; dest = (t & mask) | (f & ~mask)
+            mask = self.new_vreg()
+            inv = self.new_vreg()
+            tmp_t = self.new_vreg()
+            tmp_f = self.new_vreg()
+            self.emit("sub", mask, "zero", cond)
+            self.emit("and", tmp_t, true_reg, mask)
+            self.emit("xori", inv, mask, -1)
+            self.emit("and", tmp_f, false_reg, inv)
+            self.emit("or", dest, tmp_t, tmp_f)
+        else:
+            label = f".{self.function.name}.sel{self.vreg_counter}"
+            self.emit("mv", dest, true_reg)
+            self.emit("bnez", cond, label)
+            self.emit("mv", dest, false_reg)
+            self.emit_label(label)
+
+    def lower_gep(self, inst: GEP) -> None:
+        dest = self.result_reg(inst)
+        base = self.reg_for(inst.base)
+        size = inst.element_size
+        if isinstance(inst.index, Constant):
+            offset = inst.index.signed_value * size
+            if IMM_MIN <= offset <= IMM_MAX:
+                self.emit("addi", dest, base, offset)
+            else:
+                tmp = self.new_vreg()
+                self.emit("li", tmp, offset)
+                self.emit("add", dest, base, tmp)
+            return
+        index = self.reg_for(inst.index)
+        if _is_power_of_two(size):
+            scaled = self.new_vreg()
+            self.emit("slli", scaled, index, size.bit_length() - 1)
+            self.emit("add", dest, base, scaled)
+        else:
+            tmp = self.new_vreg()
+            scaled = self.new_vreg()
+            self.emit("li", tmp, size)
+            self.emit("mul", scaled, index, tmp)
+            self.emit("add", dest, base, scaled)
+
+    def lower_cast(self, inst: Cast) -> None:
+        dest = self.result_reg(inst)
+        source = self.reg_for(inst.value)
+        bits = getattr(inst.type, "bits", 32)
+        if inst.opcode == "zext":
+            if inst.value.type is I1:
+                self.emit("andi", dest, source, 1)
+            else:
+                self.emit("mv", dest, source)
+        elif inst.opcode == "trunc":
+            if bits >= 32:
+                self.emit("mv", dest, source)
+            else:
+                self.emit("andi", dest, source, (1 << bits) - 1)
+        else:  # sext
+            source_bits = getattr(inst.value.type, "bits", 32)
+            if source_bits >= 32:
+                self.emit("mv", dest, source)
+            else:
+                shift = 32 - source_bits
+                self.emit("slli", dest, source, shift)
+                self.emit("srai", dest, dest, shift)
+
+    def lower_call(self, inst: Call) -> None:
+        if inst.callee in HOST_CALL_IDS:
+            for index, arg in enumerate(inst.args[:7]):
+                self.emit("mv", ARGUMENT_REGISTERS[index], self.reg_for(arg))
+            self.emit("li", "a7", HOST_CALL_IDS[inst.callee], comment=inst.callee)
+            self.emit("ecall")
+        else:
+            for index, arg in enumerate(inst.args[:8]):
+                self.emit("mv", ARGUMENT_REGISTERS[index], self.reg_for(arg))
+            self.emit("call", inst.callee)
+        if inst.has_result and inst.users:
+            self.emit("mv", self.result_reg(inst), "a0")
+
+    _BRANCH_OPCODES = {"eq": "beq", "ne": "bne", "slt": "blt", "sge": "bge",
+                       "ult": "bltu", "uge": "bgeu"}
+    _SWAPPED_BRANCHES = {"sgt": "blt", "sle": "bge", "ugt": "bltu", "ule": "bgeu"}
+
+    def lower_cond_branch(self, inst: CondBranch, block: BasicBlock) -> None:
+        self.lower_phi_moves(block, inst.true_target)
+        self.lower_phi_moves(block, inst.false_target)
+        true_label = self.label_for(inst.true_target)
+        false_label = self.label_for(inst.false_target)
+        condition = inst.condition
+
+        # Fuse a single-use compare into the branch itself.
+        if isinstance(condition, ICmp) and condition.parent is block \
+                and len(condition.users) == 1:
+            lhs, rhs = self.reg_for(condition.lhs), self.reg_for(condition.rhs)
+            predicate = condition.predicate
+            if predicate in self._BRANCH_OPCODES:
+                self.emit(self._BRANCH_OPCODES[predicate], lhs, rhs, true_label)
+            elif predicate in self._SWAPPED_BRANCHES:
+                self.emit(self._SWAPPED_BRANCHES[predicate], rhs, lhs, true_label)
+            else:  # pragma: no cover - all predicates are covered above
+                self.emit("bnez", self.reg_for(condition), true_label)
+            self.emit("j", false_label)
+            return
+        self.emit("bnez", self.reg_for(condition), true_label)
+        self.emit("j", false_label)
+
+    def lower_phi_moves(self, block: BasicBlock, target: BasicBlock) -> None:
+        """Copy the incoming values for the target block's phis into their
+        staging registers (two-stage copies give parallel-move semantics)."""
+        for phi in target.phis():
+            incoming = phi.incoming_for_block(block)
+            if incoming is None:
+                continue
+            self.emit("mv", self.phi_temps[id(phi)], self.reg_for(incoming),
+                      comment=f"phi {phi.name} from {block.name}")
+
+
+def seed_remove_redundant_jumps(asm: AssemblyFunction) -> None:
+    """Delete jumps to the label that immediately follows them."""
+    body = asm.body
+    cleaned = []
+    for index, item in enumerate(body):
+        if isinstance(item, MachineInstr) and item.opcode == "j":
+            next_label = next((b for b in body[index + 1:] if isinstance(b, Label)
+                               or isinstance(b, MachineInstr)), None)
+            if isinstance(next_label, Label) and next_label.name == item.operands[0]:
+                continue
+        cleaned.append(item)
+    asm.body = cleaned
+
+
+def seed_lower_module(module: Module,
+                 cost_model: TargetCostModel = CPU_COST_MODEL) -> AssemblyProgram:
+    """Lower an IR module to an RV32IM assembly program (virtual registers)."""
+    program = AssemblyProgram()
+    # Lay out globals in the data segment.
+    address = DATA_SEGMENT_BASE
+    for gv in module.globals.values():
+        program.globals_layout[gv.name] = address
+        if gv.initializer is not None:
+            elem = gv.element_type.size_bytes
+            for i, word in enumerate(gv.initializer):
+                program.globals_init[address + i * elem] = word & 0xFFFFFFFF
+        address += max(4, gv.size_bytes)
+        address = (address + 3) & ~3
+    program.data_end = address
+
+    for function in module.defined_functions():
+        lowering = SeedFunctionLowering(function, program, cost_model)
+        asm = lowering.lower()
+        seed_remove_redundant_jumps(asm)
+        program.functions[function.name] = asm
+    return program
+
+
+# ----------------------------------------------------------------------
+# seed register allocator
+# ----------------------------------------------------------------------
+
+from dataclasses import dataclass
+
+from .isa import CALLEE_SAVED, CALLER_SAVED, REGISTER_NAMES
+
+
+#: Registers handed out by the allocator.  t5/t6 are reserved as spill scratch.
+ALLOCATABLE_CALLER = ["t0", "t1", "t2", "t3", "t4"]
+ALLOCATABLE_CALLEE = ["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"]
+SPILL_SCRATCH = ["t5", "t6"]
+
+
+def _is_vreg(operand) -> bool:
+    return isinstance(operand, str) and operand.startswith("%")
+
+
+def seed_instr_registers(instr: MachineInstr) -> tuple[list, list]:
+    """(defs, uses) positions of register operands for an instruction.
+
+    Returns two lists of operand *indices* so rewriting is straightforward.
+    """
+    opcode = instr.opcode
+    ops = instr.operands
+    reg_positions = [i for i, op in enumerate(ops) if isinstance(op, str) and
+                     (op.startswith("%") or op in REGISTER_NAMES)]
+    if opcode in ("sw", "sb", "sh"):
+        return [], reg_positions                       # store: value, base are uses
+    if opcode in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return [], reg_positions
+    if opcode in ("beqz", "bnez"):
+        return [], reg_positions
+    if opcode in ("j", "call", "ret", "ecall", "ebreak", "nop"):
+        return [], reg_positions
+    if opcode in ("jal", "jalr"):
+        return reg_positions[:1], reg_positions[1:]
+    # Default: first register operand is the destination, the rest are sources.
+    return reg_positions[:1], reg_positions[1:]
+
+
+@dataclass
+class SeedLiveInterval:
+    vreg: str
+    start: int
+    end: int
+    crosses_call: bool = False
+    assigned: str | None = None
+    spill_slot: int | None = None
+
+
+def _block_boundaries(body: list) -> list[tuple[int, int]]:
+    """(start, end) instruction-index ranges of the machine basic blocks."""
+    boundaries = []
+    start = 0
+    for index, item in enumerate(body):
+        if isinstance(item, Label) and index > start:
+            boundaries.append((start, index))
+            start = index
+        elif isinstance(item, MachineInstr) and item.is_terminator_like:
+            boundaries.append((start, index + 1))
+            start = index + 1
+    if start < len(body):
+        boundaries.append((start, len(body)))
+    return [b for b in boundaries if b[0] < b[1]]
+
+
+def seed_compute_live_intervals(body: list) -> dict[str, SeedLiveInterval]:
+    """Conservative single-range live intervals with CFG-aware extension.
+
+    Uses iterative liveness over the machine basic blocks, then collapses each
+    vreg's live positions into one [start, end] range (standard linear scan).
+    """
+    # Map labels to the block that starts there.
+    blocks = _block_boundaries(body)
+    label_to_block = {}
+    for block_index, (start, end) in enumerate(blocks):
+        for position in range(start, end):
+            item = body[position]
+            if isinstance(item, Label):
+                label_to_block[item.name] = block_index
+            else:
+                break
+
+    def successors(block_index: int) -> list[int]:
+        start, end = blocks[block_index]
+        result = []
+        fallthrough = True
+        for position in range(end - 1, start - 1, -1):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            if item.opcode in ("j",):
+                target = label_to_block.get(item.operands[0])
+                if target is not None:
+                    result.append(target)
+                fallthrough = False
+            elif item.is_branch and item.opcode != "j":
+                target = label_to_block.get(item.operands[-1])
+                if target is not None:
+                    result.append(target)
+            elif item.opcode in ("ret",):
+                fallthrough = False
+            break
+        if fallthrough and block_index + 1 < len(blocks):
+            result.append(block_index + 1)
+        return result
+
+    # Per-block def/use sets for virtual registers.
+    defs: list[set] = [set() for _ in blocks]
+    uses: list[set] = [set() for _ in blocks]
+    for block_index, (start, end) in enumerate(blocks):
+        for position in range(start, end):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            def_positions, use_positions = seed_instr_registers(item)
+            for pos in use_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg) and reg not in defs[block_index]:
+                    uses[block_index].add(reg)
+            for pos in def_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg):
+                    defs[block_index].add(reg)
+
+    live_in: list[set] = [set() for _ in blocks]
+    live_out: list[set] = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for block_index in range(len(blocks) - 1, -1, -1):
+            out = set()
+            for succ in successors(block_index):
+                out |= live_in[succ]
+            new_in = uses[block_index] | (out - defs[block_index])
+            if out != live_out[block_index] or new_in != live_in[block_index]:
+                live_out[block_index] = out
+                live_in[block_index] = new_in
+                changed = True
+
+    intervals: dict[str, SeedLiveInterval] = {}
+
+    def touch(vreg: str, position: int) -> None:
+        interval = intervals.get(vreg)
+        if interval is None:
+            intervals[vreg] = SeedLiveInterval(vreg, position, position)
+        else:
+            interval.start = min(interval.start, position)
+            interval.end = max(interval.end, position)
+
+    for block_index, (start, end) in enumerate(blocks):
+        for vreg in live_in[block_index]:
+            touch(vreg, start)
+        for vreg in live_out[block_index]:
+            touch(vreg, end - 1)
+        for position in range(start, end):
+            item = body[position]
+            if not isinstance(item, MachineInstr):
+                continue
+            def_positions, use_positions = seed_instr_registers(item)
+            for pos in def_positions + use_positions:
+                reg = item.operands[pos]
+                if _is_vreg(reg):
+                    touch(reg, position)
+
+    # Mark intervals that are live across a call (they need callee-saved regs).
+    call_positions = [i for i, item in enumerate(body)
+                      if isinstance(item, MachineInstr) and item.opcode in ("call", "ecall")]
+    for interval in intervals.values():
+        interval.crosses_call = any(interval.start < p < interval.end
+                                    for p in call_positions)
+    return intervals
+
+
+class SeedLinearScanAllocator:
+    """Classic linear-scan register allocation with furthest-end spilling."""
+
+    def __init__(self, asm: AssemblyFunction):
+        self.asm = asm
+        self.used_callee_saved: set[str] = set()
+        self.spill_slots: dict[str, int] = {}
+        self.next_spill_slot = 0
+
+    def run(self) -> None:
+        body = self.asm.body
+        intervals = seed_compute_live_intervals(body)
+        ordered = sorted(intervals.values(), key=lambda iv: iv.start)
+
+        active: list[SeedLiveInterval] = []
+        free_caller = list(ALLOCATABLE_CALLER)
+        free_callee = list(ALLOCATABLE_CALLEE)
+
+        def expire(position: int) -> None:
+            for interval in list(active):
+                if interval.end < position:
+                    active.remove(interval)
+                    if interval.assigned in ALLOCATABLE_CALLER:
+                        free_caller.append(interval.assigned)
+                    elif interval.assigned in ALLOCATABLE_CALLEE:
+                        free_callee.append(interval.assigned)
+
+        for interval in ordered:
+            expire(interval.start)
+            pools = ([free_callee, free_caller] if interval.crosses_call
+                     else [free_caller, free_callee])
+            register = None
+            for pool in pools:
+                if pool:
+                    # Don't give a caller-saved register to a call-crossing range.
+                    if interval.crosses_call and pool is free_caller:
+                        continue
+                    register = pool.pop(0)
+                    break
+            if register is not None:
+                interval.assigned = register
+                if register in CALLEE_SAVED:
+                    self.used_callee_saved.add(register)
+                active.append(interval)
+                continue
+            # Spill: choose between this interval and the active one ending last.
+            candidates = [iv for iv in active
+                          if not interval.crosses_call or iv.assigned in CALLEE_SAVED]
+            victim = max(candidates, key=lambda iv: iv.end, default=None)
+            if victim is not None and victim.end > interval.end:
+                interval.assigned = victim.assigned
+                active.remove(victim)
+                active.append(interval)
+                victim.assigned = None
+                self._assign_spill_slot(victim)
+            else:
+                self._assign_spill_slot(interval)
+
+        self._rewrite(intervals)
+
+    def _assign_spill_slot(self, interval: SeedLiveInterval) -> None:
+        if interval.vreg not in self.spill_slots:
+            self.spill_slots[interval.vreg] = self.asm.frame_size + 4 * self.next_spill_slot
+            self.next_spill_slot += 1
+        interval.spill_slot = self.spill_slots[interval.vreg]
+
+    def _rewrite(self, intervals: dict[str, SeedLiveInterval]) -> None:
+        """Replace virtual registers with physical ones; insert spill code."""
+        assignment = {iv.vreg: iv.assigned for iv in intervals.values()}
+        spills = {iv.vreg: iv.spill_slot for iv in intervals.values()
+                  if iv.assigned is None}
+
+        new_body: list = []
+        for item in self.asm.body:
+            if not isinstance(item, MachineInstr):
+                new_body.append(item)
+                continue
+            def_positions, use_positions = seed_instr_registers(item)
+            scratch_pool = list(SPILL_SCRATCH)
+            reloads: list[MachineInstr] = []
+            stores: list[MachineInstr] = []
+            replacements: dict[int, str] = {}
+
+            for pos in use_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                if assignment.get(reg):
+                    replacements[pos] = assignment[reg]
+                else:
+                    slot = spills.get(reg, 0)
+                    scratch = scratch_pool.pop(0) if scratch_pool else SPILL_SCRATCH[0]
+                    reloads.append(MachineInstr("lw", [scratch, slot, "sp"],
+                                                comment=f"reload {reg}"))
+                    replacements[pos] = scratch
+
+            for pos in def_positions:
+                reg = item.operands[pos]
+                if not _is_vreg(reg):
+                    continue
+                if assignment.get(reg):
+                    replacements[pos] = assignment[reg]
+                else:
+                    slot = spills.get(reg, 0)
+                    scratch = SPILL_SCRATCH[-1]
+                    replacements[pos] = scratch
+                    stores.append(MachineInstr("sw", [scratch, slot, "sp"],
+                                               comment=f"spill {reg}"))
+
+            for pos, reg in replacements.items():
+                item.operands[pos] = reg
+            new_body.extend(reloads)
+            new_body.append(item)
+            new_body.extend(stores)
+
+        self.asm.body = new_body
+        self.asm.frame_size += 4 * self.next_spill_slot
+
+
+def seed_finalize_frame(asm: AssemblyFunction, used_callee_saved: set[str]) -> None:
+    """Insert the prologue/epilogue and expand ``ret`` pseudo-instructions."""
+    saved = sorted(used_callee_saved) + ["ra"]
+    frame = asm.frame_size + 4 * len(saved)
+    frame = (frame + 15) & ~15  # 16-byte stack alignment, as the RISC-V ABI requires
+    save_base = asm.frame_size
+
+    prologue: list[MachineInstr] = []
+    if frame:
+        prologue.append(MachineInstr("addi", ["sp", "sp", -frame], comment="prologue"))
+    for index, reg in enumerate(saved):
+        prologue.append(MachineInstr("sw", [reg, save_base + 4 * index, "sp"],
+                                     comment=f"save {reg}"))
+
+    epilogue: list[MachineInstr] = []
+    for index, reg in enumerate(saved):
+        epilogue.append(MachineInstr("lw", [reg, save_base + 4 * index, "sp"],
+                                     comment=f"restore {reg}"))
+    if frame:
+        epilogue.append(MachineInstr("addi", ["sp", "sp", frame], comment="epilogue"))
+    epilogue.append(MachineInstr("jalr", ["zero", "ra", 0], comment="return"))
+
+    new_body: list = list(prologue)
+    for item in asm.body:
+        if isinstance(item, MachineInstr) and item.opcode == "ret":
+            new_body.extend(MachineInstr(i.opcode, list(i.operands), i.comment)
+                            for i in epilogue)
+        else:
+            new_body.append(item)
+    asm.body = new_body
+    asm.frame_size = frame
+
+
+def seed_allocate_registers(asm: AssemblyFunction) -> AssemblyFunction:
+    """Run register allocation and frame finalization on a lowered function."""
+    allocator = SeedLinearScanAllocator(asm)
+    allocator.run()
+    seed_finalize_frame(asm, allocator.used_callee_saved)
+    return asm
+
+
+def seed_compile_module(module, cost_model=CPU_COST_MODEL):
+    """Compile ``module`` exactly as the seed backend did.
+
+    Drop-in replacement for :func:`repro.backend.compile_module` used by the
+    ``--seed-backend`` escape hatch, the backend differential tests and
+    ``benchmarks/bench_backend.py``.
+    """
+    program = seed_lower_module(module, cost_model)
+    for asm in program.functions.values():
+        seed_allocate_registers(asm)
+    return program

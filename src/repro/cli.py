@@ -17,10 +17,14 @@ content-addressed on-disk cache afterwards:
 * ``repro passes BENCH..`` — show a profile's pass pipeline; with ``--time``,
   compile the benchmarks and report per-pass wall time plus analysis-cache
   activity (computed/hits/invalidated/drifted/skipped).
+* ``repro lower BENCH..``  — show the optimizing backend's assembly; with
+  ``--stats``, per-function static instruction counts, spill statistics and
+  peephole hit counts compared against the preserved seed backend.
 * ``repro list KIND``      — enumerate benchmarks/suites/profiles/figures/tables.
 
 Global flags (before the subcommand) select the worker count, the cache
-directory and the emulator's instruction budget.  ``--json`` on the reporting
+directory, the emulator's instruction budget, and the two escape hatches
+(``--no-analysis-cache``, ``--seed-backend``).  ``--json`` on the reporting
 subcommands emits machine-readable output for scripting.
 """
 
@@ -93,6 +97,7 @@ def _make_engine(args):
         cache_dir=args.cache_dir,
         use_disk_cache=not args.no_disk_cache,
         analysis_cache=not args.no_analysis_cache,
+        seed_backend=getattr(args, "seed_backend", False),
     )
 
 
@@ -381,6 +386,63 @@ def _cmd_passes(args) -> int:
     return 0
 
 
+def _cmd_lower(args) -> int:
+    from .analysis.reporting import format_table
+    from .backend import compile_module
+    from .passes import PassManager
+
+    engine = _make_engine(args)
+    profile = _resolve_profile(args.profile)
+    benchmarks = _resolve_benchmarks(args.benchmarks)
+
+    if not args.stats:
+        # Plain mode: show the optimizing backend's assembly (equivalent to
+        # ``repro compile``, but accepting several benchmarks/suites).
+        for benchmark_name in benchmarks:
+            print(engine.compile(benchmark_name, profile))
+        return 0
+
+    rows = []
+    report = []
+    for benchmark_name in benchmarks:
+        module = engine.frontend_module(benchmark_name).clone()
+        if profile.passes:
+            PassManager(profile.passes, profile.config,
+                        analysis_cache=not args.no_analysis_cache).run(module)
+        seed_program = compile_module(module, profile.cost_model,
+                                      seed_backend=True)
+        opt_program = compile_module(module, profile.cost_model)
+        for function_name, asm in opt_program.functions.items():
+            stats = opt_program.backend_stats[function_name]
+            seed_count = len(
+                seed_program.functions[function_name].instructions())
+            final = stats["final_instructions"]
+            peephole_total = sum(stats["peephole"].values())
+            reduction = (seed_count - final) / seed_count * 100 if seed_count else 0.0
+            rows.append([benchmark_name, function_name, seed_count,
+                         stats["lowered_instructions"], final,
+                         f"{reduction:.1f}", stats["spilled_vregs"],
+                         stats["spill_loads"] + stats["spill_stores"],
+                         peephole_total])
+            report.append({"benchmark": benchmark_name,
+                           "function": function_name,
+                           "seed_instructions": seed_count, **stats})
+    if args.json:
+        _emit({"profile": profile.name, "functions": report}, as_json=True)
+        return 0
+    print(format_table(
+        ["benchmark", "function", "seed", "lowered", "final", "Δ% vs seed",
+         "spilled", "spill ops", "peephole hits"],
+        rows,
+        title=f"Backend static code size — {profile.name} "
+              f"(seed backend vs optimizing backend)"))
+    totals = (sum(r[2] for r in rows), sum(r[4] for r in rows))
+    if totals[0]:
+        print(f"total: {totals[0]} -> {totals[1]} static instructions "
+              f"({(totals[0] - totals[1]) / totals[0] * 100:.1f}% smaller)")
+    return 0
+
+
 def _cmd_list(args) -> int:
     from .benchmarks import all_benchmark_names, benchmarks_in_suite, suites
     from .experiments.profiles import all_study_profiles, zkvm_aware_profile
@@ -420,6 +482,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recompute every pass-pipeline analysis from "
                              "scratch (the seed pass manager's behaviour; "
                              "used for differential testing)")
+    parser.add_argument("--seed-backend", action="store_true",
+                        help="compile through the preserved seed backend "
+                             "(naive lowering, single-range linear scan, no "
+                             "peephole) instead of the optimizing one; "
+                             "measurements are cached separately")
     parser.add_argument("--max-instructions", type=int, default=20_000_000,
                         help="emulator instruction budget per run")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -486,6 +553,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "time and analysis-cache activity")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_passes)
+
+    p = sub.add_parser("lower",
+                       help="inspect backend lowering; --stats compares the "
+                            "optimizing backend against the seed backend")
+    p.add_argument("benchmarks", nargs="+",
+                   help="benchmark names, suite names, or 'all'")
+    p.add_argument("--profile", default="-O3",
+                   help="optimization profile (default: -O3)")
+    p.add_argument("--stats", action="store_true",
+                   help="per-function static instruction counts, spills and "
+                        "peephole hits (vs the seed backend)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_lower)
 
     p = sub.add_parser("list", help="enumerate available inputs")
     p.add_argument("kind", choices=["benchmarks", "suites", "profiles",

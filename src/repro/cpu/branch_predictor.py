@@ -1,4 +1,11 @@
-"""A classic 2-bit saturating-counter branch predictor."""
+"""A classic 2-bit saturating-counter branch predictor.
+
+Used by the conventional-CPU timing model (:mod:`repro.cpu.x86_model`):
+every conditional branch in the emulated trace is predicted, and a
+misprediction stalls the modelled front end — branch behaviour being
+another axis on which CPU and zkVM costs diverge (a zkVM proves the branch
+either way; a CPU only pays when it guesses wrong).
+"""
 
 from __future__ import annotations
 
@@ -34,10 +41,12 @@ class TwoBitPredictor:
 
     @property
     def accuracy(self) -> float:
+        """Fraction of branches predicted correctly (1.0 before any)."""
         total = self.correct + self.mispredicted
         return self.correct / total if total else 1.0
 
     def reset(self) -> None:
+        """Forget all counters and zero the accuracy statistics."""
         self.counters.clear()
         self.correct = 0
         self.mispredicted = 0

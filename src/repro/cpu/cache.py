@@ -1,4 +1,11 @@
-"""A small set-associative data cache model (L1-like) for the CPU timing model."""
+"""A small set-associative data cache model (L1-like).
+
+Feeds the conventional-CPU timing model (:mod:`repro.cpu.x86_model`): every
+load/store in the emulated trace probes this cache, and misses add the
+configured penalty to the instruction's latency — one of the
+microarchitectural effects zkVMs do not have, and therefore one source of
+the zkVM/CPU divergence the paper's RQ3 studies.
+"""
 
 from __future__ import annotations
 
@@ -37,10 +44,12 @@ class DirectMappedCache:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of accesses that hit (1.0 before any access)."""
         total = self.hits + self.misses
         return self.hits / total if total else 1.0
 
     def reset(self) -> None:
+        """Empty the cache and zero the hit/miss counters."""
         self._tags = [[] for _ in range(self.sets)]
         self.hits = 0
         self.misses = 0

@@ -51,7 +51,15 @@ class CpuMetrics:
 
 @dataclass
 class CpuConfig:
-    """Microarchitectural parameters."""
+    """Microarchitectural parameters of the modelled core.
+
+    The defaults sketch a contemporary desktop-class x86 core: 4-wide
+    issue at 3 GHz, single-cycle ALU ops, slow division, an L1 data cache
+    with a 40-cycle miss penalty and a 14-cycle branch-misprediction
+    penalty.  ``DEFAULT_CPU`` is the instance every measurement uses; its
+    ``repr`` feeds the experiment cache fingerprint so parameter changes
+    invalidate stale measurements.
+    """
 
     issue_width: int = 4
     frequency_hz: float = 3.0e9
@@ -96,6 +104,7 @@ class CpuTimingModel:
                        dest: Optional[str], sources: list[str],
                        memory_address: Optional[int], is_store: bool,
                        branch_taken: Optional[bool], pc: int = 0) -> None:
+        """Observer hook: cost one executed instruction of the guest trace."""
         config = self.config
         self.instructions += 1
 
@@ -138,6 +147,7 @@ class CpuTimingModel:
 
     # -- results -------------------------------------------------------------------
     def finalize(self) -> CpuMetrics:
+        """Close the run and summarize it as :class:`CpuMetrics`."""
         # Drain: the last instructions' latencies must complete.
         drain = max(self.register_ready.values(), default=self.current_cycle)
         cycles = int(max(self.current_cycle, drain)) + 1

@@ -89,19 +89,23 @@ def profile_recipe(profile: "Profile") -> dict:
 
 
 def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
-                            max_instructions: int, verify: bool = False) -> str:
+                            max_instructions: int, verify: bool = False,
+                            seed_backend: bool = False) -> str:
     """Content hash identifying one measurement.
 
-    Every ingredient that can change the resulting numbers is included;
-    the profile's display name deliberately is *not*, so identically
-    configured profiles share one entry.  The environment and benchmark
-    components are memoized — per call only the (small) profile recipe is
-    serialized — so cache probes stay cheap on regenerator hot paths.
+    Every ingredient that can change the resulting numbers is included —
+    the ``seed_backend`` escape hatch among them, since the seed and
+    optimizing backends emit different code; the profile's display name
+    deliberately is *not*, so identically configured profiles share one
+    entry.  The environment and benchmark components are memoized — per call
+    only the (small) profile recipe is serialized — so cache probes stay
+    cheap on regenerator hot paths.
     """
     profile_blob = json.dumps({
         **profile_recipe(profile),
         "max_instructions": max_instructions,
         "verify": verify,
+        "backend": "seed" if seed_backend else "opt",
     }, sort_keys=True, default=repr)
     blob = "\x1e".join([_environment_blob(), _benchmark_blob(benchmark),
                         profile_blob])

@@ -45,19 +45,20 @@ def _compute_measurement_job(job) -> Measurement:
     """Pool worker entry point: compute one measurement from scratch.
 
     ``job`` is ``(benchmark_name, profile, max_instructions, verify,
-    program_cache_size, analysis_cache)``.  Runs in a separate process; the
-    only state shared with the parent is the picklable job tuple and the
-    returned :class:`Measurement`.
+    program_cache_size, analysis_cache, seed_backend)``.  Runs in a separate
+    process; the only state shared with the parent is the picklable job tuple
+    and the returned :class:`Measurement`.
     """
     (benchmark_name, profile, max_instructions, verify,
-     program_cache_size, analysis_cache) = job
-    key = (max_instructions, verify, program_cache_size, analysis_cache)
+     program_cache_size, analysis_cache, seed_backend) = job
+    key = (max_instructions, verify, program_cache_size, analysis_cache,
+           seed_backend)
     runner = _WORKER_RUNNERS.get(key)
     if runner is None:
         runner = _WORKER_RUNNERS[key] = BenchmarkRunner(
             max_instructions=max_instructions, verify=verify,
             program_cache_size=program_cache_size,
-            analysis_cache=analysis_cache)
+            analysis_cache=analysis_cache, seed_backend=seed_backend)
     return runner.measure(benchmark_name, profile, use_cache=False)
 
 
@@ -113,10 +114,11 @@ class ExperimentEngine(BenchmarkRunner):
                  use_disk_cache: bool = True,
                  parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
                  program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE,
-                 analysis_cache: bool = True):
+                 analysis_cache: bool = True, seed_backend: bool = False):
         super().__init__(max_instructions=max_instructions, verify=verify,
                          program_cache_size=program_cache_size,
-                         analysis_cache=analysis_cache)
+                         analysis_cache=analysis_cache,
+                         seed_backend=seed_backend)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if cache is None and use_disk_cache:
             cache = MeasurementCache(cache_dir)
@@ -133,7 +135,8 @@ class ExperimentEngine(BenchmarkRunner):
         from ..benchmarks import get_benchmark
 
         return measurement_fingerprint(get_benchmark(benchmark_name), profile,
-                                       self.max_instructions, self.verify)
+                                       self.max_instructions, self.verify,
+                                       self.seed_backend)
 
     def _lookup(self, key: str) -> Optional[Measurement]:
         """Memory-then-disk cache probe; promotes disk hits into memory."""
@@ -217,7 +220,8 @@ class ExperimentEngine(BenchmarkRunner):
             keys = list(pending)
             jobs = [(pairs[pending[key][0]][0], pairs[pending[key][0]][1],
                      self.max_instructions, self.verify,
-                     self.program_cache_size, self.analysis_cache)
+                     self.program_cache_size, self.analysis_cache,
+                     self.seed_backend)
                     for key in keys]
             for key, outcome in zip(keys, self._compute_batch(jobs)):
                 if isinstance(outcome, Exception):

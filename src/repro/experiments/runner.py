@@ -93,17 +93,22 @@ def warm_matrix(runner: "BenchmarkRunner", benchmarks: list[str],
 DEFAULT_PROGRAM_CACHE_SIZE = 128
 
 
-def _program_key(benchmark_name: str, profile: Profile) -> str:
+def _program_key(benchmark_name: str, profile: Profile,
+                 seed_backend: bool = False) -> str:
     """Content key for a compiled program: everything that shapes the code.
 
     Keyed by the profile's *recipe* (passes, config, cost model — shared with
     :func:`~repro.experiments.cache.measurement_fingerprint`), not its display
     name, so content-equal profiles (an autotuner candidate that rediscovers
-    ``-O2``) share one compiled+decoded program.
+    ``-O2``) share one compiled+decoded program.  The backend choice
+    (optimizing vs the preserved seed backend) shapes the code too, so it is
+    part of the key.
     """
     from .cache import profile_recipe
 
-    return json.dumps({"benchmark": benchmark_name, **profile_recipe(profile)},
+    return json.dumps({"benchmark": benchmark_name,
+                       "backend": "seed" if seed_backend else "opt",
+                       **profile_recipe(profile)},
                       sort_keys=True, default=repr)
 
 
@@ -118,13 +123,17 @@ class BenchmarkRunner:
 
     def __init__(self, max_instructions: int = 20_000_000, verify: bool = False,
                  program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE,
-                 analysis_cache: bool = True):
+                 analysis_cache: bool = True, seed_backend: bool = False):
         self.max_instructions = max_instructions
         self.verify = verify
         self.program_cache_size = program_cache_size
         #: False routes every compile through the ``--no-analysis-cache``
         #: escape hatch (the seed-semantics recompute-everything pipeline).
         self.analysis_cache = analysis_cache
+        #: True compiles through the preserved seed backend
+        #: (``--seed-backend``) instead of the optimizing one — the A/B knob
+        #: behind ``make bench-backend`` and the backend differential suite.
+        self.seed_backend = seed_backend
         self._source_cache: dict[str, Module] = {}
         self._measure_cache: dict[tuple[str, str], Measurement] = {}
         self._program_cache: dict[str, object] = {}
@@ -150,7 +159,7 @@ class BenchmarkRunner:
         never mutates the program (machines copy ``globals_init``), so the
         shared object is safe across runs.
         """
-        key = _program_key(benchmark_name, profile)
+        key = _program_key(benchmark_name, profile, self.seed_backend)
         if use_cache:
             program = self._program_cache.get(key)
             if program is not None:
@@ -161,7 +170,8 @@ class BenchmarkRunner:
                         analysis_cache=self.analysis_cache).run(module)
         if self.verify:
             verify_module(module)
-        program = compile_module(module, profile.cost_model)
+        program = compile_module(module, profile.cost_model,
+                                 seed_backend=self.seed_backend)
         if use_cache and self.program_cache_size > 0:
             while len(self._program_cache) >= self.program_cache_size:
                 self._program_cache.pop(next(iter(self._program_cache)))
