@@ -10,6 +10,8 @@
 #                        BENCH_passes.json (1.5x bar enforced)
 #   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
 #                        BENCH_backend.json (10% geomean reduction enforced)
+#   make fuzz-smoke      ~200-seed differential fuzzing campaign across all
+#                        generator modes (minutes; fails on any divergence)
 #   make docs-check      markdown link check + GUIDE.md quickstart smoke run
 #   make bench           full pytest-benchmark harness (slow)
 
@@ -17,7 +19,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-engine figures-smoke bench-engine bench-emulator \
-	bench-passes bench-backend docs-check bench clean-cache
+	bench-passes bench-backend fuzz-smoke docs-check bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +55,17 @@ BENCH_BACKEND_BAR ?= 0.10
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend.py --json BENCH_backend.json \
 		--min-reduction $(BENCH_BACKEND_BAR)
+
+# Differential fuzzing: generated MiniC programs replayed through every
+# oracle (IR interpreter, both backends, both emulators, cached-vs-fresh
+# pipeline) under both paper profiles.  Exits non-zero on any divergence;
+# failures are delta-debugged to minimal reproducers (override the batch:
+# make fuzz-smoke FUZZ_SEEDS=50 FUZZ_START_SEED=1000).
+FUZZ_SEEDS ?= 200
+FUZZ_START_SEED ?= 0
+fuzz-smoke:
+	$(PYTHON) -m repro --no-disk-cache fuzz --seeds $(FUZZ_SEEDS) \
+		--start-seed $(FUZZ_START_SEED) --minimize --json
 
 # Link-checks README.md/docs/*.md and smoke-runs the GUIDE.md quickstart.
 docs-check:

@@ -20,6 +20,10 @@ content-addressed on-disk cache afterwards:
 * ``repro lower BENCH..``  — show the optimizing backend's assembly; with
   ``--stats``, per-function static instruction counts, spill statistics and
   peephole hit counts compared against the preserved seed backend.
+* ``repro fuzz``           — differential fuzzing: generated MiniC programs
+  replayed through every oracle (IR interpreter, both backends, both
+  emulators, cached-vs-fresh pipeline) under both paper profiles, sharded as
+  batched engine jobs; ``--minimize`` reduces failures to ``.repro`` files.
 * ``repro list KIND``      — enumerate benchmarks/suites/profiles/figures/tables.
 
 Global flags (before the subcommand) select the worker count, the cache
@@ -443,6 +447,26 @@ def _cmd_lower(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .fuzz import HarnessConfig, run_campaign
+    from .fuzz.driver import DEFAULT_MAX_MINIMIZE
+
+    engine = _make_engine(args)
+    config = HarnessConfig(emulator_max_instructions=args.max_instructions)
+    try:
+        summary = run_campaign(
+            seeds=args.seeds, mode=args.mode, start_seed=args.start_seed,
+            engine=engine, config=config, minimize=args.minimize,
+            corpus_dir=args.corpus_dir, shard_size=args.shard_size,
+            max_minimize=args.max_minimize
+            if args.max_minimize is not None else DEFAULT_MAX_MINIMIZE)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+    _emit(summary.as_dict(), as_json=args.json)
+    _report_engine(engine)
+    return 0 if summary.clean else 1
+
+
 def _cmd_list(args) -> int:
     from .benchmarks import all_benchmark_names, benchmarks_in_suite, suites
     from .experiments.profiles import all_study_profiles, zkvm_aware_profile
@@ -566,6 +590,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "peephole hits (vs the seed backend)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_lower)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing across every oracle "
+                            "(IR interpreter, backends, emulators, pipeline)")
+    p.add_argument("--seeds", type=int, default=200,
+                   help="number of generated programs (default: 200)")
+    p.add_argument("--mode", default="all",
+                   help="generator mode: loop-heavy, call-heavy, "
+                        "pointer-heavy, branchy-int, mixed, or 'all' "
+                        "(round-robin; default)")
+    p.add_argument("--start-seed", type=int, default=0,
+                   help="first seed (campaigns shard the seed space)")
+    p.add_argument("--minimize", action="store_true",
+                   help="delta-debug each failure down to a minimal "
+                        "reproducer before triage")
+    p.add_argument("--corpus-dir", default=None,
+                   help="write triaged reproducers as .repro files here")
+    p.add_argument("--shard-size", type=int, default=16,
+                   help="programs per batched engine job")
+    p.add_argument("--max-minimize", type=int, default=None,
+                   help="cap on minimizations per campaign (default: 25)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("list", help="enumerate available inputs")
     p.add_argument("kind", choices=["benchmarks", "suites", "profiles",

@@ -244,6 +244,49 @@ class ExperimentEngine(BenchmarkRunner):
                  for benchmark_name in benchmark_names for profile in profiles]
         return self.measure_pairs(pairs)
 
+    # -- generic batched jobs ------------------------------------------------
+    def map_jobs(self, fn, jobs: Sequence, on_error: str = "raise") -> list:
+        """Run ``fn(job)`` for every job, sharded across the worker pool.
+
+        The generic sibling of :meth:`measure_pairs` for non-measurement
+        batches (the differential fuzzer's seed shards use it): ``fn`` must be
+        a module-level callable and each job picklable.  Results come back
+        aligned with ``jobs``.  Uses the same long-lived pool, threshold and
+        serial-fallback behaviour as measurement batches; no caching is done —
+        callers own dedupe/persistence.
+
+        ``on_error="none"`` maps a failing job to ``None`` instead of raising.
+        """
+        outcomes = self._map_batch(fn, list(jobs))
+        results = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                self.stats.errors += 1
+                if on_error != "none":
+                    raise outcome
+                results.append(None)
+            else:
+                results.append(outcome)
+        return results
+
+    def _map_batch(self, fn, jobs: list) -> list:
+        """Run jobs through ``fn``, returning a result or Exception per job."""
+        if (self.workers > 1 and not self._parallel_disabled
+                and len(jobs) >= self.parallel_threshold):
+            try:
+                return self._map_parallel(fn, jobs)
+            except RuntimeError:
+                pass  # pool died mid-batch: recompute this batch serially
+            except (ImportError, OSError):
+                self._parallel_disabled = True
+        outcomes = []
+        for job in jobs:
+            try:
+                outcomes.append(fn(job))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
     # -- execution backends --------------------------------------------------
     def _compute_batch(self, jobs: list) -> list:
         """Run jobs, returning a Measurement or Exception per job, in order."""
@@ -306,10 +349,13 @@ class ExperimentEngine(BenchmarkRunner):
             pass
 
     def _compute_parallel(self, jobs: list) -> list:
+        return self._map_parallel(_compute_measurement_job, jobs)
+
+    def _map_parallel(self, fn, jobs: list) -> list:
         from concurrent.futures.process import BrokenProcessPool
 
         pool = self._ensure_pool()
-        futures = [pool.submit(_compute_measurement_job, job) for job in jobs]
+        futures = [pool.submit(fn, job) for job in jobs]
         outcomes = []
         for future in futures:
             try:

@@ -1,0 +1,168 @@
+"""Campaign driver: fan differential-fuzz shards out through the engine.
+
+A campaign is ``--seeds N`` programs: the parent process *generates* them all
+(generation is cheap and must stay deterministic), dedupes content-identical
+sources (different seeds occasionally collapse to the same tiny program),
+shards the survivors into batches of :data:`DEFAULT_SHARD_SIZE`, and submits
+the shards through :meth:`ExperimentEngine.map_jobs` — the same process pool,
+threshold, and serial-fallback machinery the measurement batches use.
+
+Failures flow back to the parent, are optionally minimized (serially — real
+failures are rare and the reducer wants the whole machine), bucketed by
+first-divergent stage via :mod:`repro.fuzz.triage`, and persisted as
+replayable ``.repro`` reproducers when a corpus directory is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..experiments.engine import ExperimentEngine
+from .genprog import MODES, generate_program
+from .harness import HarnessConfig, run_differential
+from .minimize import minimize_source
+from .triage import TriageSummary, triage_failure, write_corpus
+
+#: Programs per engine job; big enough to amortize pool dispatch, small
+#: enough that a campaign keeps every worker busy.
+DEFAULT_SHARD_SIZE = 16
+
+#: Ceiling on minimizations per campaign (each costs hundreds of harness runs).
+DEFAULT_MAX_MINIMIZE = 25
+
+
+def _run_shard(job) -> list:
+    """Pool worker entry point: run one shard of programs through the harness.
+
+    ``job`` is ``(entries, config_kwargs)`` with ``entries`` a tuple of
+    ``(seed, mode, source)`` triples; returns ``(seed, mode, report)`` per
+    entry.  Everything crossing the process boundary is picklable.
+    """
+    entries, config_kwargs = job
+    config = HarnessConfig(**config_kwargs)
+    return [(seed, mode, run_differential(source, config))
+            for seed, mode, source in entries]
+
+
+@dataclass
+class CampaignSummary:
+    """Machine-readable result of one fuzzing campaign."""
+
+    seeds: int
+    start_seed: int
+    mode: str
+    generated: int = 0
+    #: Distinct sources actually fuzzed (after content dedupe).
+    unique_programs: int = 0
+    duplicate_programs: int = 0
+    ok: int = 0
+    failed: int = 0
+    minimized: int = 0
+    #: Failures skipped by the per-campaign minimization ceiling.
+    minimize_skipped: int = 0
+    triage: TriageSummary = field(default_factory=TriageSummary)
+    corpus_files: list = field(default_factory=list)
+    engine_stats: Optional[dict] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.failed == 0
+
+    def as_dict(self) -> dict:
+        return {"seeds": self.seeds, "start_seed": self.start_seed,
+                "mode": self.mode, "generated": self.generated,
+                "unique_programs": self.unique_programs,
+                "duplicate_programs": self.duplicate_programs,
+                "ok": self.ok, "failed": self.failed, "clean": self.clean,
+                "minimized": self.minimized,
+                "minimize_skipped": self.minimize_skipped,
+                "triage": self.triage.as_dict(),
+                "corpus_files": list(self.corpus_files),
+                "engine_stats": self.engine_stats}
+
+
+def _mode_for(mode: str, index: int) -> str:
+    if mode == "all":
+        return MODES[index % len(MODES)]
+    return mode
+
+
+def _shard(entries: Sequence, size: int) -> list:
+    return [tuple(entries[i:i + size]) for i in range(0, len(entries), size)]
+
+
+def run_campaign(seeds: int, mode: str = "all", start_seed: int = 0,
+                 engine: Optional[ExperimentEngine] = None,
+                 config: Optional[HarnessConfig] = None,
+                 minimize: bool = False,
+                 corpus_dir=None,
+                 shard_size: int = DEFAULT_SHARD_SIZE,
+                 max_minimize: int = DEFAULT_MAX_MINIMIZE) -> CampaignSummary:
+    """Run one differential-fuzzing campaign; see the module docstring.
+
+    ``mode`` is a generator mode name or ``"all"`` (round-robin over every
+    mode).  ``engine=None`` builds a private engine with the default worker
+    count and no disk cache (fuzz results are not measurements; nothing here
+    is worth persisting in the measurement cache).
+    """
+    if mode != "all" and mode not in MODES:
+        raise ValueError(f"unknown fuzz mode {mode!r}; "
+                         f"choose from {', '.join(MODES)} or 'all'")
+    config = config or HarnessConfig()
+    summary = CampaignSummary(seeds=seeds, start_seed=start_seed, mode=mode)
+
+    # Generate + dedupe parent-side so every shard works on distinct programs.
+    seen_sources: set[str] = set()
+    entries: list[tuple[int, str, str]] = []
+    sources: dict[int, str] = {}
+    for i in range(seeds):
+        seed = start_seed + i
+        program = generate_program(seed, mode=_mode_for(mode, i))
+        summary.generated += 1
+        if program.source in seen_sources:
+            summary.duplicate_programs += 1
+            continue
+        seen_sources.add(program.source)
+        entries.append((seed, program.mode, program.source))
+        sources[seed] = program.source
+    summary.unique_programs = len(entries)
+
+    own_engine = engine is None
+    if own_engine:
+        engine = ExperimentEngine(use_disk_cache=False)
+    try:
+        jobs = [(shard, config.as_kwargs())
+                for shard in _shard(entries, max(1, shard_size))]
+        failures: list[tuple[int, str, object]] = []
+        for shard_result in engine.map_jobs(_run_shard, jobs):
+            for seed, prog_mode, report in shard_result:
+                if report.ok:
+                    summary.ok += 1
+                else:
+                    summary.failed += 1
+                    failures.append((seed, prog_mode, report))
+    finally:
+        if own_engine:
+            engine.close()
+    summary.engine_stats = engine.stats.as_dict()
+
+    # Minimize + triage in the parent (failures are rare; the reducer is the
+    # expensive part and wants deterministic, serial execution).
+    for seed, prog_mode, report in failures:
+        source = sources[seed]
+        if minimize:
+            if summary.minimized < max_minimize:
+                reduced = minimize_source(source, report, config)
+                source, report = reduced.source, reduced.report
+                summary.minimized += 1
+            else:
+                summary.minimize_skipped += 1
+        summary.triage.add(triage_failure(source, report,
+                                          seed=seed, mode=prog_mode))
+
+    if corpus_dir is not None and summary.triage.unique_failures:
+        all_failures = [f for bucket in summary.triage.buckets.values()
+                        for f in bucket]
+        summary.corpus_files = write_corpus(all_failures, corpus_dir)
+    return summary

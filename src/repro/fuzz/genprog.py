@@ -1,0 +1,731 @@
+"""Structured MiniC program generation for differential fuzzing.
+
+:func:`generate_program` is a seeded, typed AST sampler over
+:mod:`repro.frontend.ast_nodes`: it builds a whole-program AST (globals,
+constants, helper functions, ``main``) and renders it to MiniC source text.
+Every generated program is **valid by construction**:
+
+* **terminating** — every ``for``/``while`` loop has a protected counter with
+  a constant trip count, recursion decrements a depth parameter that is
+  masked to a small range at every call site, and the call graph between
+  helpers is acyclic;
+* **free of undefined behaviour** — array indices are masked to the
+  (power-of-two) array size, every scalar is initialized at declaration,
+  local arrays are zero-filled before first use, and variable reads are
+  only generated inside the lexical scope of the declaration (so no path
+  reads an uninitialized stack slot).  Division by zero, shifts and signed
+  overflow are all well-defined 32-bit RISC-V semantics in MiniC;
+* **observable** — ``main`` threads a checksum accumulator through the
+  computation, folds every global and top-level local array into it, prints
+  it and returns it, so memory-state miscompiles surface in the output.
+
+Weighted *modes* steer the sampler toward the constructs most likely to
+stress a given compiler layer; each mode also force-plants its signature
+constructs so coverage does not depend on the dice:
+
+=============  =============================================================
+loop-heavy     nested ``for``/``while`` loops (unrolling, LICM, loop passes)
+call-heavy     many helpers, inline hints, bounded recursion (inliner, tail
+               calls, call lowering)
+pointer-heavy  global + local arrays, masked index stores/loads (GEP
+               folding, SROA, store-to-load forwarding, regalloc of bases)
+branchy-int    deep if/else chains, short-circuit ``&&``/``||``, compares
+               (SCCP, jump threading, branch lowering)
+mixed          an even blend of all of the above
+=============  =============================================================
+
+The same ``(seed, mode)`` pair always yields the identical AST and source —
+the fuzz driver, the delta-debugging reducer and the regression corpus all
+rely on that determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..frontend import ast_nodes as ast
+
+#: The generator's sampling modes ("mixed" blends the four specialized ones).
+MODES = ("loop-heavy", "call-heavy", "pointer-heavy", "branchy-int", "mixed")
+
+#: Power-of-two array sizes so indices can be masked in-bounds with ``&``.
+_ARRAY_SIZES = (8, 16, 32)
+
+#: Constants the sampler draws from (boundary values well represented).
+_INTERESTING = (
+    0, 1, 2, 3, 4, 5, 7, 8, 13, 15, 16, 31, 32, 63, 100, 127, 255, 256,
+    1000, 1023, 4096, 65535, 2**31 - 1, -1, -2, -3, -7, -16, -100, -255,
+    -(2**31),
+)
+
+_ARITH_OPS = ("+", "-", "*", "/", "%", "&", "|", "^")
+_SHIFT_OPS = ("<<", ">>", ">>>")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_UNARY_OPS = ("-", "~", "!")
+
+#: Per-mode statement-kind weights.
+_STMT_WEIGHTS = {
+    "loop-heavy":    {"decl": 2, "assign": 3, "store": 1, "if": 1, "for": 5,
+                      "while": 3, "call": 1, "print": 1},
+    "call-heavy":    {"decl": 2, "assign": 3, "store": 1, "if": 2, "for": 2,
+                      "while": 1, "call": 6, "print": 1},
+    "pointer-heavy": {"decl": 2, "assign": 2, "store": 6, "if": 1, "for": 3,
+                      "while": 1, "call": 1, "print": 1},
+    "branchy-int":   {"decl": 3, "assign": 4, "store": 1, "if": 6, "for": 2,
+                      "while": 1, "call": 1, "print": 1},
+    "mixed":         {"decl": 2, "assign": 3, "store": 2, "if": 3, "for": 3,
+                      "while": 2, "call": 3, "print": 1},
+}
+
+#: Per-mode expression-kind weights.
+_EXPR_WEIGHTS = {
+    "loop-heavy":    {"arith": 5, "shift": 1, "cmp": 1, "logic": 1,
+                      "unary": 1, "index": 2, "call": 1},
+    "call-heavy":    {"arith": 4, "shift": 1, "cmp": 1, "logic": 1,
+                      "unary": 1, "index": 1, "call": 4},
+    "pointer-heavy": {"arith": 4, "shift": 1, "cmp": 1, "logic": 1,
+                      "unary": 1, "index": 5, "call": 1},
+    "branchy-int":   {"arith": 3, "shift": 2, "cmp": 4, "logic": 4,
+                      "unary": 2, "index": 1, "call": 1},
+    "mixed":         {"arith": 4, "shift": 1, "cmp": 2, "logic": 2,
+                      "unary": 1, "index": 2, "call": 2},
+}
+
+#: Soft dynamic-cost ceilings (in rough interpreter steps) that keep every
+#: generated program far inside the harness's interpretation budget.
+_MAIN_COST_LIMIT = 60_000
+_HELPER_COST_LIMIT = 4_000
+#: Maximum product of enclosing loop trip counts.
+_TRIP_LIMIT = 2_048
+#: Depth bound every recursive call site is masked to (``n & 15``).
+_RECURSION_MASK = 15
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One sampled program: the AST and its rendered MiniC source."""
+
+    seed: int
+    mode: str
+    ast: ast.Program
+    source: str
+
+
+@dataclass
+class _Helper:
+    """What call sites need to know about an already-generated function."""
+
+    name: str
+    n_params: int
+    cost: int
+    recursive: bool = False
+    inline: bool = False
+
+
+@dataclass
+class _Array:
+    name: str
+    size: int
+
+
+def _pick_weighted(rng: random.Random, weights: dict[str, int]) -> str:
+    total = sum(weights.values())
+    roll = rng.random() * total
+    for kind, weight in weights.items():
+        roll -= weight
+        if roll < 0:
+            return kind
+    return next(iter(weights))
+
+
+class _FunctionGen:
+    """Generates one function body under scope/termination/cost discipline."""
+
+    def __init__(self, rng: random.Random, mode: str, name: str,
+                 params: list[str], helpers: list[_Helper],
+                 globals_: list[_Array], constants: list[str],
+                 cost_limit: int, allow_calls: bool = True):
+        self.rng = rng
+        self.mode = mode
+        self.name = name
+        self.helpers = helpers
+        self.globals = globals_
+        self.constants = constants
+        self.cost_limit = cost_limit
+        self.allow_calls = allow_calls
+        #: Lexical scopes: only names in an open scope may be read/assigned,
+        #: which guarantees every read is dominated by the initialization.
+        self.scopes: list[list[str]] = [list(params)]
+        #: Loop counters of enclosing loops: readable, never assignable.
+        self.protected: set[str] = set()
+        self.local_arrays: list[_Array] = []
+        self.fresh_counter = 0
+        #: Product of enclosing loop trip counts.
+        self.trip = 1
+        #: Rough dynamic cost (interpreter steps) of one call of this body.
+        self.cost = 0
+        self.prints_left = 2
+
+    # -- scope helpers -------------------------------------------------------
+    def fresh(self, prefix: str) -> str:
+        self.fresh_counter += 1
+        return f"{prefix}{self.fresh_counter}"
+
+    def visible_scalars(self) -> list[str]:
+        return [name for scope in self.scopes for name in scope]
+
+    def assignable_scalars(self) -> list[str]:
+        return [name for name in self.visible_scalars()
+                if name not in self.protected]
+
+    def charge(self, steps: int) -> None:
+        self.cost += steps * self.trip
+
+    def exhausted(self) -> bool:
+        return self.cost >= self.cost_limit
+
+    # -- expressions ---------------------------------------------------------
+    def number(self) -> ast.NumberExpr:
+        if self.rng.random() < 0.7:
+            value = self.rng.choice(_INTERESTING)
+        else:
+            value = self.rng.randint(-(2**31), 2**31 - 1)
+        return ast.NumberExpr(value=value)
+
+    def leaf(self) -> ast.Node:
+        choices: list[ast.Node] = [self.number()]
+        scalars = self.visible_scalars()
+        if scalars:
+            choices.append(ast.VarExpr(name=self.rng.choice(scalars)))
+            choices.append(ast.VarExpr(name=self.rng.choice(scalars)))
+        if self.constants and self.rng.random() < 0.3:
+            choices.append(ast.VarExpr(name=self.rng.choice(self.constants)))
+        return self.rng.choice(choices)
+
+    def masked_index(self, array: _Array, depth: int) -> ast.Node:
+        """An in-bounds index: ``(expr) & (size - 1)`` (size is a power of 2)."""
+        return ast.BinaryExpr(op="&", lhs=self.expr(depth),
+                              rhs=ast.NumberExpr(value=array.size - 1))
+
+    def array_read(self, depth: int) -> ast.Node:
+        arrays = self.globals + self.local_arrays
+        if not arrays:
+            return self.leaf()
+        array = self.rng.choice(arrays)
+        self.charge(3)
+        return ast.IndexExpr(name=array.name,
+                             index=self.masked_index(array, depth - 1))
+
+    def call_expr(self, depth: int) -> ast.Node:
+        """A call to an already-generated helper, if the budget allows one."""
+        if not self.allow_calls:
+            return self.leaf()
+        affordable = [h for h in self.helpers
+                      if self.cost + h.cost * self.trip < self.cost_limit]
+        if not affordable:
+            return self.leaf()
+        helper = self.rng.choice(affordable)
+        self.charge(helper.cost + 4)
+        args = [self.expr(depth - 1) for _ in range(helper.n_params)]
+        if helper.recursive:
+            # The first parameter is the recursion depth: mask it small so
+            # neither the guest nor the (recursive) IR interpreter blows up.
+            args[0] = ast.BinaryExpr(op="&", lhs=args[0],
+                                     rhs=ast.NumberExpr(value=_RECURSION_MASK))
+        return ast.CallExpr(callee=helper.name, args=args)
+
+    def expr(self, depth: int) -> ast.Node:
+        if depth <= 0 or self.rng.random() < 0.2 or self.exhausted():
+            return self.leaf()
+        kind = _pick_weighted(self.rng, _EXPR_WEIGHTS[self.mode])
+        self.charge(1)
+        if kind == "arith":
+            return ast.BinaryExpr(op=self.rng.choice(_ARITH_OPS),
+                                  lhs=self.expr(depth - 1),
+                                  rhs=self.expr(depth - 1))
+        if kind == "shift":
+            # Shift amounts are masked to [0, 31]: MiniC inherits RISC-V's
+            # 5-bit shift semantics, but keeping the amount in range avoids
+            # pinning the fuzzer's verdicts on that corner in every program.
+            if self.rng.random() < 0.5:
+                amount: ast.Node = ast.NumberExpr(value=self.rng.randint(0, 31))
+            else:
+                amount = ast.BinaryExpr(op="&", lhs=self.expr(depth - 1),
+                                        rhs=ast.NumberExpr(value=31))
+            return ast.BinaryExpr(op=self.rng.choice(_SHIFT_OPS),
+                                  lhs=self.expr(depth - 1), rhs=amount)
+        if kind == "cmp":
+            return ast.BinaryExpr(op=self.rng.choice(_CMP_OPS),
+                                  lhs=self.expr(depth - 1),
+                                  rhs=self.expr(depth - 1))
+        if kind == "logic":
+            return ast.BinaryExpr(op=self.rng.choice(("&&", "||")),
+                                  lhs=self.expr(depth - 1),
+                                  rhs=self.expr(depth - 1))
+        if kind == "unary":
+            return ast.UnaryExpr(op=self.rng.choice(_UNARY_OPS),
+                                 operand=self.expr(depth - 1))
+        if kind == "index":
+            return self.array_read(depth)
+        return self.call_expr(depth)
+
+    # -- statements ----------------------------------------------------------
+    def stmt_decl(self) -> ast.Node:
+        name = self.fresh("v")
+        self.charge(3)
+        # The initializer is generated *before* the name enters scope, so a
+        # declaration can never read its own (uninitialized) storage.
+        init = self.expr(2)
+        self.scopes[-1].append(name)
+        return ast.VarDecl(name=name, init=init)
+
+    def stmt_assign(self) -> ast.Node:
+        targets = self.assignable_scalars()
+        if not targets:
+            return self.stmt_decl()
+        self.charge(3)
+        return ast.Assign(target=ast.VarExpr(name=self.rng.choice(targets)),
+                          value=self.expr(2))
+
+    def stmt_store(self) -> ast.Node:
+        arrays = self.globals + self.local_arrays
+        if not arrays:
+            return self.stmt_assign()
+        array = self.rng.choice(arrays)
+        self.charge(4)
+        target = ast.IndexExpr(name=array.name,
+                               index=self.masked_index(array, 1))
+        return ast.Assign(target=target, value=self.expr(2))
+
+    def stmt_print(self) -> ast.Node:
+        self.prints_left -= 1
+        self.charge(3)
+        return ast.ExprStmt(expr=ast.CallExpr(callee="print",
+                                              args=[self.expr(2)]))
+
+    def stmt_call(self) -> ast.Node:
+        call = self.call_expr(2)
+        if not isinstance(call, ast.CallExpr):
+            return self.stmt_assign()
+        return ast.ExprStmt(expr=call)
+
+    def stmt_if(self, depth: int) -> ast.Node:
+        condition = self.expr(2)
+        then_body = self.block(depth + 1, max_stmts=3)
+        else_body = (self.block(depth + 1, max_stmts=2)
+                     if self.rng.random() < 0.5 else [])
+        return ast.IfStmt(condition=condition, then_body=then_body,
+                          else_body=else_body)
+
+    def trip_count(self, depth: int) -> int:
+        ceiling = max(2, min(16 >> depth, _TRIP_LIMIT // self.trip))
+        return self.rng.randint(1, ceiling)
+
+    def stmt_for(self, depth: int) -> ast.Node:
+        bound = self.trip_count(depth)
+        counter = self.fresh("i")
+        init = ast.VarDecl(name=counter, init=ast.NumberExpr(value=0))
+        condition = ast.BinaryExpr(op="<", lhs=ast.VarExpr(name=counter),
+                                   rhs=ast.NumberExpr(value=bound))
+        step = ast.Assign(target=ast.VarExpr(name=counter),
+                          value=ast.BinaryExpr(op="+",
+                                               lhs=ast.VarExpr(name=counter),
+                                               rhs=ast.NumberExpr(value=1)))
+        self.scopes.append([counter])
+        self.protected.add(counter)
+        self.trip *= bound
+        self.charge(4)
+        body = self.block(depth + 1, max_stmts=4, in_loop=True,
+                          allow_continue=True)
+        self.trip //= bound
+        self.protected.discard(counter)
+        self.scopes.pop()
+        return ast.ForStmt(init=init, condition=condition, step=step, body=body)
+
+    def stmt_while(self, depth: int) -> list[ast.Node]:
+        """``var w = N; while (w > 0) { w = w - 1; ... }`` — returns 2 stmts.
+
+        The decrement is the *first* body statement so a generated
+        ``continue`` can never skip it (MiniC ``continue`` jumps straight to
+        the condition in a ``while`` loop).
+        """
+        bound = self.trip_count(depth)
+        counter = self.fresh("w")
+        self.scopes[-1].append(counter)
+        decl = ast.VarDecl(name=counter, init=ast.NumberExpr(value=bound))
+        condition = ast.BinaryExpr(op=">", lhs=ast.VarExpr(name=counter),
+                                   rhs=ast.NumberExpr(value=0))
+        decrement = ast.Assign(
+            target=ast.VarExpr(name=counter),
+            value=ast.BinaryExpr(op="-", lhs=ast.VarExpr(name=counter),
+                                 rhs=ast.NumberExpr(value=1)))
+        self.protected.add(counter)
+        self.trip *= bound
+        self.charge(4)
+        body = [decrement] + self.block(depth + 1, max_stmts=3, in_loop=True,
+                                        allow_continue=True)
+        self.trip //= bound
+        self.protected.discard(counter)
+        return [decl, ast.WhileStmt(condition=condition, body=body)]
+
+    def block(self, depth: int, max_stmts: int, in_loop: bool = False,
+              allow_continue: bool = False) -> list[ast.Node]:
+        self.scopes.append([])
+        statements: list[ast.Node] = []
+        weights = dict(_STMT_WEIGHTS[self.mode])
+        if depth >= 3:  # no further nesting
+            for kind in ("if", "for", "while"):
+                weights.pop(kind, None)
+        for _ in range(self.rng.randint(1, max_stmts)):
+            if self.exhausted():
+                break
+            kind = _pick_weighted(self.rng, weights)
+            if kind == "print" and self.prints_left <= 0:
+                kind = "assign"
+            if kind == "decl":
+                statements.append(self.stmt_decl())
+            elif kind == "assign":
+                statements.append(self.stmt_assign())
+            elif kind == "store":
+                statements.append(self.stmt_store())
+            elif kind == "print":
+                statements.append(self.stmt_print())
+            elif kind == "call":
+                statements.append(self.stmt_call())
+            elif kind == "if":
+                statements.append(self.stmt_if(depth))
+            elif kind == "for":
+                statements.append(self.stmt_for(depth))
+            elif kind == "while":
+                statements.extend(self.stmt_while(depth))
+        # Occasionally end a loop body with break/continue (never earlier, so
+        # no generated statement is trivially unreachable).
+        if in_loop and statements and self.rng.random() < 0.15:
+            if allow_continue and self.rng.random() < 0.5:
+                statements.append(ast.ContinueStmt())
+            else:
+                statements.append(ast.BreakStmt())
+        self.scopes.pop()
+        return statements
+
+    # -- whole-function assembly ---------------------------------------------
+    def declare_local_array(self) -> list[ast.Node]:
+        """Declare a local array and zero-fill it before any read.
+
+        The fill loop is mandatory: the IR interpreter hands out fresh
+        zeroed memory per ``alloca`` while the emulator reuses stack slots,
+        so an *uninitialized* read is exactly the kind of false divergence
+        the generator must never produce.
+        """
+        size = self.rng.choice(_ARRAY_SIZES[:2])
+        name = self.fresh("arr")
+        array = _Array(name=name, size=size)
+        counter = self.fresh("fi")
+        fill = ast.ForStmt(
+            init=ast.VarDecl(name=counter, init=ast.NumberExpr(value=0)),
+            condition=ast.BinaryExpr(op="<", lhs=ast.VarExpr(name=counter),
+                                     rhs=ast.NumberExpr(value=size)),
+            step=ast.Assign(target=ast.VarExpr(name=counter),
+                            value=ast.BinaryExpr(
+                                op="+", lhs=ast.VarExpr(name=counter),
+                                rhs=ast.NumberExpr(value=1))),
+            body=[ast.Assign(
+                target=ast.IndexExpr(name=name,
+                                     index=ast.VarExpr(name=counter)),
+                value=ast.NumberExpr(value=0))])
+        self.charge(size * 4)
+        self.local_arrays.append(array)
+        return [ast.VarDecl(name=name, array_size=size), fill]
+
+
+class _ProgramGen:
+    """Samples a whole program: globals, constants, helpers, then ``main``."""
+
+    def __init__(self, seed: int, mode: str):
+        if mode not in MODES:
+            raise ValueError(f"unknown generator mode {mode!r}; "
+                             f"expected one of {', '.join(MODES)}")
+        self.seed = seed
+        self.mode = mode
+        self.rng = random.Random(seed)
+        self.globals: list[_Array] = []
+        self.constants: list[str] = []
+        self.helpers: list[_Helper] = []
+
+    def generate(self) -> ast.Program:
+        program = ast.Program()
+        self._gen_globals(program)
+        self._gen_constants(program)
+        self._gen_helpers(program)
+        program.functions.append(self._gen_main())
+        return program
+
+    # -- top-level pieces ----------------------------------------------------
+    def _gen_globals(self, program: ast.Program) -> None:
+        count = self.rng.randint(1, 3)
+        if self.mode == "pointer-heavy":
+            count = max(count, 2)
+        for index in range(count):
+            size = self.rng.choice(_ARRAY_SIZES)
+            initializer = [self.rng.choice(_INTERESTING) for _ in range(size)]
+            self.globals.append(_Array(name=f"g{index}", size=size))
+            program.globals.append(ast.GlobalDecl(name=f"g{index}", count=size,
+                                                  initializer=initializer))
+
+    def _gen_constants(self, program: ast.Program) -> None:
+        for index in range(self.rng.randint(0, 2)):
+            value = self.rng.choice(_INTERESTING)
+            name = f"C{index}"
+            self.constants.append(name)
+            program.constants.append(ast.ConstDecl(name=name, value=value))
+
+    def _gen_recursive_helper(self, name: str) -> ast.FunctionDecl:
+        """``fn name(n, acc) -> int`` that recurses on ``n - 1`` to a base case."""
+        gen = _FunctionGen(self.rng, self.mode, name, ["n", "acc"],
+                           self.helpers, self.globals, self.constants,
+                           cost_limit=250, allow_calls=False)
+        # ``n`` is the termination measure: the random body must not reassign
+        # it, or ``rec(n - 1, ...)`` stops making progress toward the guard.
+        gen.protected.add("n")
+        guard = ast.IfStmt(
+            condition=ast.BinaryExpr(op="<=", lhs=ast.VarExpr(name="n"),
+                                     rhs=ast.NumberExpr(value=0)),
+            then_body=[ast.ReturnStmt(value=ast.VarExpr(name="acc"))])
+        body: list[ast.Node] = [guard]
+        body.extend(gen.block(1, max_stmts=2))
+        recursive_call = ast.CallExpr(
+            callee=name,
+            args=[ast.BinaryExpr(op="-", lhs=ast.VarExpr(name="n"),
+                                 rhs=ast.NumberExpr(value=1)),
+                  gen.expr(2)])
+        body.append(ast.ReturnStmt(
+            value=ast.BinaryExpr(op=self.rng.choice(("+", "^", "-")),
+                                 lhs=recursive_call, rhs=gen.expr(1))))
+        cost = (gen.cost + 20) * (_RECURSION_MASK + 1)
+        self.helpers.append(_Helper(name=name, n_params=2, cost=cost,
+                                    recursive=True))
+        return ast.FunctionDecl(name=name, params=[ast.Param(name="n"),
+                                                   ast.Param(name="acc")],
+                                returns_value=True, body=body)
+
+    def _gen_plain_helper(self, name: str) -> ast.FunctionDecl:
+        n_params = self.rng.randint(1, 3)
+        params = [f"p{i}" for i in range(n_params)]
+        inline = self.rng.random() < 0.25
+        gen = _FunctionGen(self.rng, self.mode, name, params, self.helpers,
+                           self.globals, self.constants,
+                           cost_limit=_HELPER_COST_LIMIT)
+        body = gen.block(1, max_stmts=4)
+        body.append(ast.ReturnStmt(value=gen.expr(2)))
+        self.helpers.append(_Helper(name=name, n_params=n_params,
+                                    cost=gen.cost + 20, inline=inline))
+        return ast.FunctionDecl(name=name,
+                                params=[ast.Param(name=p) for p in params],
+                                returns_value=True, body=body,
+                                inline_always=inline)
+
+    def _gen_helpers(self, program: ast.Program) -> None:
+        count = self.rng.randint(1, 3)
+        recursive = 0
+        if self.mode == "call-heavy":
+            count = max(count, 3)
+            recursive = self.rng.randint(1, 2)
+        elif self.rng.random() < 0.3:
+            recursive = 1
+        for index in range(count):
+            program.functions.append(self._gen_plain_helper(f"f{index}"))
+        for index in range(recursive):
+            program.functions.append(self._gen_recursive_helper(f"rec{index}"))
+
+    # -- main ----------------------------------------------------------------
+    def _forced_statements(self, gen: _FunctionGen) -> list[ast.Node]:
+        """Plant each mode's signature constructs unconditionally."""
+        forced: list[ast.Node] = []
+        if self.mode == "loop-heavy":
+            forced.append(gen.stmt_for(0))
+            forced.extend(gen.stmt_while(0))
+        elif self.mode == "call-heavy":
+            for helper in list(gen.helpers):
+                call = gen.call_expr(1)
+                if isinstance(call, ast.CallExpr):
+                    forced.append(ast.Assign(
+                        target=ast.VarExpr(name="acc"),
+                        value=ast.BinaryExpr(op="^",
+                                             lhs=ast.VarExpr(name="acc"),
+                                             rhs=call)))
+        elif self.mode == "pointer-heavy":
+            forced.extend(gen.declare_local_array())
+            forced.append(gen.stmt_store())
+            forced.append(gen.stmt_store())
+        elif self.mode == "branchy-int":
+            chain = ast.IfStmt(
+                condition=ast.BinaryExpr(op="&&", lhs=gen.expr(2),
+                                         rhs=gen.expr(2)),
+                then_body=[gen.stmt_assign()],
+                else_body=[ast.IfStmt(
+                    condition=ast.BinaryExpr(op="||", lhs=gen.expr(2),
+                                             rhs=gen.expr(2)),
+                    then_body=[gen.stmt_assign()],
+                    else_body=[gen.stmt_assign()])])
+            forced.append(chain)
+        return forced
+
+    def _gen_main(self) -> ast.FunctionDecl:
+        gen = _FunctionGen(self.rng, self.mode, "main", [], self.helpers,
+                           self.globals, self.constants,
+                           cost_limit=_MAIN_COST_LIMIT)
+        body: list[ast.Node] = [
+            ast.VarDecl(name="acc",
+                        init=ast.NumberExpr(value=self.rng.choice(_INTERESTING)))
+        ]
+        gen.scopes[0].append("acc")
+        if self.mode in ("pointer-heavy", "mixed") and self.rng.random() < 0.8:
+            body.extend(gen.declare_local_array())
+        body.extend(self._forced_statements(gen))
+        body.extend(gen.block(0, max_stmts=6))
+        body.extend(self._checksum_epilogue(gen))
+        body.append(ast.ExprStmt(expr=ast.CallExpr(callee="print",
+                                                   args=[ast.VarExpr(name="acc")])))
+        body.append(ast.ReturnStmt(value=ast.VarExpr(name="acc")))
+        return ast.FunctionDecl(name="main", params=[], returns_value=True,
+                                body=body)
+
+    def _checksum_epilogue(self, gen: _FunctionGen) -> list[ast.Node]:
+        """Fold every array into ``acc`` so memory effects are observable."""
+        statements: list[ast.Node] = []
+        for array in self.globals + gen.local_arrays:
+            counter = gen.fresh("cs")
+            update = ast.Assign(
+                target=ast.VarExpr(name="acc"),
+                value=ast.BinaryExpr(
+                    op="^",
+                    lhs=ast.BinaryExpr(op="*", lhs=ast.VarExpr(name="acc"),
+                                       rhs=ast.NumberExpr(value=31)),
+                    rhs=ast.IndexExpr(name=array.name,
+                                      index=ast.VarExpr(name=counter))))
+            statements.append(ast.ForStmt(
+                init=ast.VarDecl(name=counter, init=ast.NumberExpr(value=0)),
+                condition=ast.BinaryExpr(op="<", lhs=ast.VarExpr(name=counter),
+                                         rhs=ast.NumberExpr(value=array.size)),
+                step=ast.Assign(target=ast.VarExpr(name=counter),
+                                value=ast.BinaryExpr(
+                                    op="+", lhs=ast.VarExpr(name=counter),
+                                    rhs=ast.NumberExpr(value=1))),
+                body=[update]))
+        return statements
+
+
+# -- rendering ----------------------------------------------------------------
+def _render_int(value: int) -> str:
+    """A constant usable in any context (negatives via ``0 - n``: MiniC has
+    no negative literals, and ``0 - 2147483648`` round-trips INT_MIN)."""
+    if value < 0:
+        return f"(0 - {-value})"
+    return str(value)
+
+
+def render_expr(expr: ast.Node) -> str:
+    """Render an expression fully parenthesized (precedence-proof)."""
+    if isinstance(expr, ast.NumberExpr):
+        return _render_int(expr.value)
+    if isinstance(expr, ast.VarExpr):
+        return expr.name
+    if isinstance(expr, ast.IndexExpr):
+        return f"{expr.name}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.UnaryExpr):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.BinaryExpr):
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    if isinstance(expr, ast.CallExpr):
+        return f"{expr.callee}({', '.join(render_expr(a) for a in expr.args)})"
+    raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+
+def _render_simple(stmt: ast.Node) -> str:
+    """A statement without its trailing ';' (for ``for``-clauses)."""
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            return f"var {stmt.name}[{stmt.array_size}]"
+        if stmt.init is None:
+            return f"var {stmt.name}"
+        return f"var {stmt.name} = {render_expr(stmt.init)}"
+    if isinstance(stmt, ast.Assign):
+        return f"{render_expr(stmt.target)} = {render_expr(stmt.value)}"
+    if isinstance(stmt, ast.ExprStmt):
+        return render_expr(stmt.expr)
+    raise TypeError(f"cannot render {type(stmt).__name__} in a for-clause")
+
+
+def _render_stmt(stmt: ast.Node, indent: int, out: list[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ExprStmt)):
+        out.append(f"{pad}{_render_simple(stmt)};")
+    elif isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            out.append(f"{pad}return;")
+        else:
+            out.append(f"{pad}return {render_expr(stmt.value)};")
+    elif isinstance(stmt, ast.BreakStmt):
+        out.append(f"{pad}break;")
+    elif isinstance(stmt, ast.ContinueStmt):
+        out.append(f"{pad}continue;")
+    elif isinstance(stmt, ast.IfStmt):
+        out.append(f"{pad}if ({render_expr(stmt.condition)}) {{")
+        for s in stmt.then_body:
+            _render_stmt(s, indent + 1, out)
+        if stmt.else_body:
+            out.append(f"{pad}}} else {{")
+            for s in stmt.else_body:
+                _render_stmt(s, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.WhileStmt):
+        out.append(f"{pad}while ({render_expr(stmt.condition)}) {{")
+        for s in stmt.body:
+            _render_stmt(s, indent + 1, out)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, ast.ForStmt):
+        init = _render_simple(stmt.init) if stmt.init is not None else ""
+        condition = render_expr(stmt.condition) if stmt.condition is not None else ""
+        step = _render_simple(stmt.step) if stmt.step is not None else ""
+        out.append(f"{pad}for ({init}; {condition}; {step}) {{")
+        for s in stmt.body:
+            _render_stmt(s, indent + 1, out)
+        out.append(f"{pad}}}")
+    else:
+        raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def render_program(program: ast.Program) -> str:
+    """Render a program AST back to parseable MiniC source text."""
+    out: list[str] = []
+    for const in program.constants:
+        out.append(f"const {const.name} = {_render_int(const.value)};")
+    for decl in program.globals:
+        if decl.initializer is not None:
+            values = ", ".join(_render_int(v) for v in decl.initializer)
+            out.append(f"global {decl.name}[{decl.count}] = {{{values}}};")
+        elif decl.count != 1:
+            out.append(f"global {decl.name}[{decl.count}];")
+        else:
+            out.append(f"global {decl.name};")
+    for function in program.functions:
+        out.append("")
+        params = ", ".join(p.name for p in function.params)
+        prefix = "inline " if function.inline_always else ""
+        suffix = " -> int" if function.returns_value else ""
+        out.append(f"{prefix}fn {function.name}({params}){suffix} {{")
+        for stmt in function.body:
+            _render_stmt(stmt, 1, out)
+        out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def generate_program(seed: int, mode: str = "mixed") -> GeneratedProgram:
+    """Sample one valid, terminating, UB-free MiniC program.
+
+    The same ``(seed, mode)`` always produces the identical program.
+    """
+    program = _ProgramGen(seed, mode).generate()
+    return GeneratedProgram(seed=seed, mode=mode, ast=program,
+                            source=render_program(program))

@@ -1,0 +1,250 @@
+"""Delta-debugging reducer for differential-harness failures.
+
+Given a MiniC source whose :func:`~repro.fuzz.harness.run_differential` report
+is not ok, the reducer greedily applies AST-level shrinking edits — drop a
+statement, drop a whole function/global/constant, hoist a loop or branch body,
+replace a subexpression with one of its operands or with ``0``, shrink an
+integer literal — keeping an edit only when the reduced program *still fails
+at the same stage*.  The result is a minimal reproducer suitable for the
+regression corpus.
+
+The reducer re-parses the failing source into the frontend AST (rather than
+reusing the generator's AST), so it works on any failing program — generated,
+corpus, or hand-written.  Reduction runs the harness with
+``verify_each_pass=True`` so pipeline failures name the guilty pass, and with
+a tightened interpreter budget so edits that introduce an infinite loop are
+rejected quickly instead of burning the full campaign budget.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator, Optional
+
+from ..frontend import ast_nodes as ast
+from ..frontend import parse
+from ..frontend.errors import FrontendError
+from .genprog import render_program
+from .harness import DifferentialReport, HarnessConfig, run_differential
+
+#: Hard ceiling on harness evaluations per reduction (each evaluation compiles
+#: and runs the program under every oracle, so this bounds wall-clock).
+DEFAULT_MAX_EVALS = 400
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one reduction."""
+
+    source: str
+    report: DifferentialReport
+    evals: int
+    #: Number of edits that were kept (0 means the input was already minimal).
+    applied_edits: int
+
+    def as_dict(self) -> dict:
+        return {"source": self.source, "report": self.report.as_dict(),
+                "evals": self.evals, "applied_edits": self.applied_edits}
+
+
+# -- edit enumeration ---------------------------------------------------------
+#
+# Each candidate edit is a thunk bound to nodes of one deep copy of the AST;
+# applying it mutates that copy in place.  Edits are re-enumerated from scratch
+# after every accepted edit, so positions never go stale.
+
+Edit = Callable[[], None]
+
+
+def _shrunk_values(value: int) -> list[int]:
+    """Candidate replacement literals, most aggressive first."""
+    candidates = []
+    for v in (0, 1, value // 2, -value if value < 0 else None):
+        if v is not None and v != value and v not in candidates:
+            candidates.append(v)
+    return candidates
+
+
+def _expr_edits(holder, attr: str, expr) -> Iterator[Edit]:
+    """Edits that replace ``holder.<attr>`` (== expr) with something smaller."""
+
+    def set_to(node):
+        def apply():
+            setattr(holder, attr, node)
+        return apply
+
+    if isinstance(expr, ast.NumberExpr):
+        for v in _shrunk_values(expr.value):
+            yield set_to(ast.NumberExpr(value=v))
+        return
+    # Replacing any compound expression with 0 is the biggest single cut.
+    yield set_to(ast.NumberExpr(value=0))
+    if isinstance(expr, ast.BinaryExpr):
+        yield set_to(expr.lhs)
+        yield set_to(expr.rhs)
+    elif isinstance(expr, ast.UnaryExpr):
+        yield set_to(expr.operand)
+    elif isinstance(expr, ast.CallExpr):
+        for arg in expr.args:
+            yield set_to(arg)
+    elif isinstance(expr, ast.IndexExpr):
+        yield from _expr_edits(expr, "index", expr.index)
+        return
+    # Recurse into the children that stay in place.
+    for child_attr in ("lhs", "rhs", "operand", "index"):
+        child = getattr(expr, child_attr, None)
+        if child is not None:
+            yield from _expr_edits(expr, child_attr, child)
+    for i, arg in enumerate(getattr(expr, "args", ())):
+        def set_arg(idx, node):
+            def apply():
+                expr.args[idx] = node
+            return apply
+        for v in ([ast.NumberExpr(value=0)] if not isinstance(arg, ast.NumberExpr)
+                  else [ast.NumberExpr(value=v) for v in _shrunk_values(arg.value)]):
+            yield set_arg(i, v)
+
+
+def _drop_from(body: list, index: int) -> Edit:
+    def apply():
+        del body[index]
+    return apply
+
+
+def _hoist(body: list, index: int, inner: list) -> Edit:
+    def apply():
+        body[index:index + 1] = copy.deepcopy(inner)
+    return apply
+
+
+def _stmt_edits(body: list, index: int) -> Iterator[Edit]:
+    stmt = body[index]
+    yield _drop_from(body, index)
+    if isinstance(stmt, ast.IfStmt):
+        if stmt.then_body:
+            yield _hoist(body, index, stmt.then_body)
+        if stmt.else_body:
+            yield _hoist(body, index, stmt.else_body)
+    elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+        if stmt.body:
+            yield _hoist(body, index, stmt.body)
+
+
+def _body_edits(body: list, structural: bool) -> Iterator[Edit]:
+    for index, stmt in enumerate(body):
+        if structural:
+            yield from _stmt_edits(body, index)
+        else:
+            # Expression shrinking inside the statement.
+            for attr in ("init", "value", "condition", "step", "expr"):
+                child = getattr(stmt, attr, None)
+                if isinstance(child, ast.Node):
+                    yield from _expr_edits(stmt, attr, child)
+        if isinstance(stmt, ast.IfStmt):
+            yield from _body_edits(stmt.then_body, structural)
+            yield from _body_edits(stmt.else_body, structural)
+        elif isinstance(stmt, (ast.WhileStmt, ast.ForStmt)):
+            yield from _body_edits(stmt.body, structural)
+
+
+def enumerate_edits(program: ast.Program) -> Iterator[Edit]:
+    """Every candidate shrinking edit on ``program``, coarsest first.
+
+    Ordering matters: the greedy loop retries from the first ordinal after
+    every accepted edit, so whole-function and whole-statement drops come
+    before any literal shrinking — one accepted structural edit removes more
+    source than a hundred constant tweaks.
+    """
+    # Whole-function drops first: one accepted drop removes the most source.
+    for index, function in enumerate(program.functions):
+        if function.name != "main":
+            yield _drop_from(program.functions, index)
+    for index in range(len(program.globals)):
+        yield _drop_from(program.globals, index)
+    for index in range(len(program.constants)):
+        yield _drop_from(program.constants, index)
+    # NOTE: deliberately no "shrink a global's element count" edit.  Generated
+    # programs keep array accesses in bounds with literal masks (`& (size-1)`)
+    # baked into the indexing expressions; halving the count without rewriting
+    # every mask turns the reduced program into an out-of-bounds witness whose
+    # divergence has a different root cause than the failure being reduced.
+    for function in program.functions:
+        yield from _body_edits(function.body, structural=True)
+    for function in program.functions:
+        yield from _body_edits(function.body, structural=False)
+
+
+# -- reduction loop -----------------------------------------------------------
+def reduction_config(config: Optional[HarnessConfig],
+                     baseline_steps: int) -> HarnessConfig:
+    """The tightened harness configuration used while reducing.
+
+    ``verify_each_pass`` localizes pipeline breakage to a pass; the interpreter
+    budget drops to a small multiple of the original program's cost so a
+    reduction edit that un-terminates the program fails fast.
+    """
+    config = config or HarnessConfig()
+    budget = min(config.interp_max_steps,
+                 max(20 * max(baseline_steps, 1), 200_000))
+    return replace(config, verify_each_pass=True, interp_max_steps=budget)
+
+
+def minimize_source(source: str, report: DifferentialReport,
+                    config: Optional[HarnessConfig] = None,
+                    max_evals: int = DEFAULT_MAX_EVALS) -> MinimizeResult:
+    """Shrink ``source`` while it keeps failing at ``report.stage``.
+
+    Returns the smallest failing variant found within the evaluation budget
+    (possibly the input itself), along with its fresh harness report.
+    """
+    if report.ok:
+        raise ValueError("cannot minimize a passing program")
+    target_stage = report.stage
+    reduce_cfg = reduction_config(config, report.interp_steps)
+
+    try:
+        program = parse(source)
+    except FrontendError:
+        # Unparseable input (a "frontend" failure at the lexer level): there
+        # is no AST to reduce — hand the input back untouched.
+        return MinimizeResult(source=source, report=report, evals=0,
+                              applied_edits=0)
+
+    best_source = source
+    best_report = report
+    evals = 0
+    applied = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        # Count edits on a scratch copy, then try each ordinal on fresh copies
+        # so a rejected edit never leaks mutations into the next attempt.
+        n_edits = sum(1 for _ in enumerate_edits(copy.deepcopy(program)))
+        for ordinal in range(n_edits):
+            if evals >= max_evals:
+                break
+            candidate = copy.deepcopy(program)
+            for i, edit in enumerate(enumerate_edits(candidate)):
+                if i == ordinal:
+                    edit()
+                    break
+            else:
+                continue
+            try:
+                candidate_source = render_program(candidate)
+            except Exception:  # noqa: BLE001 - malformed intermediate AST
+                continue
+            if candidate_source == best_source:
+                continue
+            evals += 1
+            verdict = run_differential(candidate_source, reduce_cfg)
+            if not verdict.ok and verdict.stage == target_stage:
+                program = candidate
+                best_source = candidate_source
+                best_report = verdict
+                applied += 1
+                progress = True
+                break  # re-enumerate: earlier ordinals may now apply
+    return MinimizeResult(source=best_source, report=best_report,
+                          evals=evals, applied_edits=applied)

@@ -1,0 +1,161 @@
+"""Failure bucketing and the on-disk reproducer corpus.
+
+A failure's **bucket** is its first-divergent stage (see
+:data:`repro.fuzz.harness.STAGES`); its **fingerprint** hashes the stage
+together with the (minimized) source, so two seeds that reduce to the same
+reproducer dedupe into one corpus entry.
+
+Reproducers persist as ``.repro`` files: a MiniC source prefixed with
+``// key: value`` header comments (the MiniC lexer treats ``//`` as a line
+comment, so every ``.repro`` file is itself directly compilable and replayable
+through the harness — which is exactly what ``tests/test_fuzz_regressions.py``
+does to the checked-in corpus under ``tests/corpus/``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .harness import DifferentialReport
+
+
+def failure_fingerprint(stage: str, source: str) -> str:
+    """Content hash identifying one (stage, reproducer) equivalence class."""
+    digest = hashlib.sha256()
+    digest.update(stage.encode())
+    digest.update(b"\0")
+    digest.update(source.encode())
+    return digest.hexdigest()[:12]
+
+
+@dataclass
+class TriagedFailure:
+    """One bucketed failure, ready to persist."""
+
+    stage: str
+    fingerprint: str
+    source: str
+    report: DifferentialReport
+    seed: Optional[int] = None
+    mode: Optional[str] = None
+
+    @property
+    def filename(self) -> str:
+        return f"{self.stage}-{self.fingerprint}.repro"
+
+    def as_dict(self) -> dict:
+        return {"stage": self.stage, "fingerprint": self.fingerprint,
+                "seed": self.seed, "mode": self.mode,
+                "detail": self.report.detail, "profile": self.report.profile,
+                "file": self.filename}
+
+
+@dataclass
+class TriageSummary:
+    """Aggregate view of one campaign's failures."""
+
+    #: stage -> list of triaged failures (deduped by fingerprint).
+    buckets: dict = field(default_factory=dict)
+    duplicates: int = 0
+
+    def add(self, failure: TriagedFailure) -> bool:
+        """Record a failure; returns False when its fingerprint is a dupe."""
+        bucket = self.buckets.setdefault(failure.stage, [])
+        if any(f.fingerprint == failure.fingerprint for f in bucket):
+            self.duplicates += 1
+            return False
+        bucket.append(failure)
+        return True
+
+    @property
+    def unique_failures(self) -> int:
+        return sum(len(b) for b in self.buckets.values())
+
+    def as_dict(self) -> dict:
+        return {"unique_failures": self.unique_failures,
+                "duplicates": self.duplicates,
+                "buckets": {stage: [f.as_dict() for f in failures]
+                            for stage, failures in sorted(self.buckets.items())}}
+
+
+def triage_failure(source: str, report: DifferentialReport,
+                   seed: Optional[int] = None,
+                   mode: Optional[str] = None) -> TriagedFailure:
+    """Bucket one harness failure by stage + source fingerprint."""
+    if report.ok:
+        raise ValueError("cannot triage a passing program")
+    return TriagedFailure(stage=report.stage,
+                          fingerprint=failure_fingerprint(report.stage, source),
+                          source=source, report=report, seed=seed, mode=mode)
+
+
+# -- .repro serialization -----------------------------------------------------
+_HEADER_PREFIX = "// "
+
+
+def format_repro(failure: TriagedFailure) -> str:
+    """The replayable ``.repro`` file body for one triaged failure."""
+    header = {
+        "repro": "1",
+        "stage": failure.stage,
+        "fingerprint": failure.fingerprint,
+        "profile": failure.report.profile or "",
+        "detail": failure.report.detail.replace("\n", " "),
+    }
+    if failure.seed is not None:
+        header["seed"] = str(failure.seed)
+    if failure.mode is not None:
+        header["mode"] = str(failure.mode)
+    lines = [f"{_HEADER_PREFIX}{key}: {value}" for key, value in header.items()]
+    return "\n".join(lines) + "\n\n" + failure.source.rstrip("\n") + "\n"
+
+
+def parse_repro(text: str) -> tuple[dict, str]:
+    """Split a ``.repro`` file into (header dict, MiniC source).
+
+    The source part includes everything after the leading header comment
+    block; because headers are comments, passing the *whole* file to the
+    compiler works too — this split exists so replay tooling can read the
+    expected stage.
+    """
+    header: dict = {}
+    lines = text.splitlines()
+    body_start = 0
+    for i, line in enumerate(lines):
+        if line.startswith(_HEADER_PREFIX) and ": " in line:
+            key, _, value = line[len(_HEADER_PREFIX):].partition(": ")
+            header[key.strip()] = value
+            body_start = i + 1
+        elif line.strip() == "" and not header:
+            body_start = i + 1
+        else:
+            break
+    source = "\n".join(lines[body_start:]).lstrip("\n")
+    return header, source
+
+
+def write_corpus(failures: Iterable[TriagedFailure], corpus_dir) -> list[str]:
+    """Persist every failure as a ``.repro`` file; returns written paths."""
+    corpus = Path(corpus_dir)
+    corpus.mkdir(parents=True, exist_ok=True)
+    written = []
+    for failure in failures:
+        path = corpus / failure.filename
+        path.write_text(format_repro(failure))
+        written.append(str(path))
+    return written
+
+
+def load_corpus(corpus_dir) -> list[tuple[str, dict, str]]:
+    """Read every ``.repro`` under ``corpus_dir`` as (path, header, source)."""
+    corpus = Path(corpus_dir)
+    entries = []
+    if not corpus.is_dir():
+        return entries
+    for path in sorted(corpus.glob("*.repro")):
+        header, source = parse_repro(path.read_text())
+        entries.append((str(path), header, source))
+    return entries

@@ -28,6 +28,23 @@ class InterpreterError(Exception):
     """Raised on malformed programs (missing function, bad memory access, ...)."""
 
 
+class StepLimitExceeded(InterpreterError):
+    """The configured ``max_steps`` budget was exhausted.
+
+    Carries the function being executed when the budget ran out and the
+    executed-step count, so callers (fuzz triage in particular) can tell a
+    slow-but-terminating program apart from a genuine hang and report *where*
+    the time went.
+    """
+
+    def __init__(self, function_name: str, steps: int):
+        super().__init__(
+            f"interpreter step limit exceeded in function '{function_name}' "
+            f"after {steps} executed steps")
+        self.function_name = function_name
+        self.steps = steps
+
+
 def _to_signed(value: int) -> int:
     value &= WORD_MASK
     return value - (1 << 32) if value >= (1 << 31) else value
@@ -125,7 +142,7 @@ class Interpreter:
             for inst in block.non_phi_instructions():
                 self.steps += 1
                 if self.steps > self.max_steps:
-                    raise InterpreterError("interpreter step limit exceeded")
+                    raise StepLimitExceeded(function.name, self.steps)
                 outcome = self._execute(inst, env)
                 if isinstance(outcome, _Return):
                     return outcome.value

@@ -104,15 +104,24 @@ class SimpleLoopUnswitch(FunctionPass):
 
             block_map, _ = clone_loop(loop, function, "unswitch")
             # Specialize: original copy assumes the condition is true, the clone
-            # assumes it is false.
+            # assumes it is false.  Dropping one side of the conditional branch
+            # removes a CFG edge, so the no-longer-reached successor must also
+            # forget its phi entry for the branch block — a stale entry is later
+            # folded to the wrong value by simplifycfg's block merging.
             term.erase()
             branch_block.append(Branch(term.true_target))
+            if term.false_target is not term.true_target:
+                for phi in term.false_target.phis():
+                    phi.remove_incoming(branch_block)
             cloned_block = block_map[branch_block]
             cloned_term = cloned_block.terminator
             assert isinstance(cloned_term, CondBranch)
             false_target = cloned_term.false_target
             cloned_term.erase()
             cloned_block.append(Branch(false_target))
+            if cloned_term.true_target is not false_target:
+                for phi in cloned_term.true_target.phis():
+                    phi.remove_incoming(cloned_block)
 
             # The preheader now selects which version to run.
             preheader_term = preheader.terminator

@@ -1,0 +1,33 @@
+"""Replay every checked-in ``tests/corpus/*.repro`` through the full harness.
+
+The corpus holds minimized reproducers: programs that once exposed (or pin
+down known-risky) behaviour across the oracles.  Every entry must replay
+**clean** — its bug is fixed, and this test keeps it fixed.  When the fuzzer
+finds a new bug, the workflow is: minimize (``repro fuzz --minimize``), fix,
+then land the reducer's output here with ``stage: ok`` in its header.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, run_differential
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no .repro files under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path,header,source", CORPUS,
+    ids=[Path(path).stem for path, _, _ in CORPUS])
+def test_corpus_replay(path, header, source):
+    assert header.get("stage") == "ok", \
+        f"{path}: corpus entries must be fixed (header 'stage: ok'); " \
+        f"got {header.get('stage')!r}"
+    report = run_differential(source)
+    assert report.ok, (f"{path}: regression! diverges again at stage "
+                       f"{report.stage} ({report.profile}): {report.detail}")

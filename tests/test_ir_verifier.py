@@ -1,0 +1,203 @@
+"""Direct unit tests for ``ir/verifier.py``.
+
+Each structural rejection class gets a hand-built bad module; every test also
+asserts the diagnostic names the offending function (and block, where one
+exists) so fuzz triage output stays actionable.
+"""
+
+import pytest
+
+from repro.ir import (
+    Branch, Constant, IRBuilder, Module, Phi, Ret,
+    VerificationError, verify_function, verify_module,
+    I32, VOID,
+)
+
+
+def _function(module=None, name="bad", return_type=I32):
+    module = module or Module("m")
+    return module, module.create_function(name, return_type, [])
+
+
+class TestBlockStructure:
+    def test_missing_terminator(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        builder = IRBuilder(entry)
+        builder.add(Constant(1), Constant(2), "x")  # no ret/br afterwards
+        with pytest.raises(VerificationError) as exc:
+            verify_module(module)
+        message = str(exc.value)
+        assert "does not end with a terminator" in message
+        assert "bad" in message and "entry" in message
+
+    def test_empty_block(self):
+        module, function = _function()
+        function.add_block("entry")
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "empty basic block" in message
+        assert "bad" in message and "entry" in message
+
+    def test_terminator_in_middle_of_block(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        # Two rets in one block: bypass the builder so nothing "fixes" it.
+        entry.append(Ret(Constant(1)))
+        entry.append(Ret(Constant(2)))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "terminator in the middle of a block" in message
+        assert "bad/entry" in message
+
+    def test_branch_to_foreign_block(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        _, other = _function(Module("other"), name="elsewhere")
+        foreign = other.add_block("foreign")
+        IRBuilder(foreign).ret(Constant(0))
+        entry.append(Branch(foreign))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "branch to a block outside the function" in message
+        assert "foreign" in message
+
+
+class TestUseBeforeDef:
+    def test_operand_must_dominate_use(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        left = function.add_block("left")
+        right = function.add_block("right")
+        join = function.add_block("join")
+        builder = IRBuilder(entry)
+        builder.cond_br(Constant(1), left, right)
+        builder.position_at_end(left)
+        defined_in_left = builder.add(Constant(1), Constant(2), "only.left")
+        builder.br(join)
+        builder.position_at_end(right)
+        builder.br(join)
+        builder.position_at_end(join)
+        # Uses %only.left on the path through 'right' where it never ran.
+        builder.ret(defined_in_left)
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "does not dominate its use" in message
+        assert "bad/join" in message and "only.left" in message
+
+
+class TestPhis:
+    def _diamond(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        left = function.add_block("left")
+        right = function.add_block("right")
+        join = function.add_block("join")
+        builder = IRBuilder(entry)
+        builder.cond_br(Constant(1), left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        return module, function, left, right, join
+
+    def test_phi_missing_predecessor_entry(self):
+        module, function, left, right, join = self._diamond()
+        phi = Phi(I32, "merge")
+        phi.add_incoming(Constant(1), left)  # no entry for 'right'
+        join.append(phi)
+        join.append(Ret(phi))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "incoming blocks" in message and "do not match predecessors" in message
+        assert "bad/join" in message and "%merge" in message
+
+    def test_phi_entry_for_non_predecessor(self):
+        module, function, left, right, join = self._diamond()
+        stray = function.add_block("stray")
+        IRBuilder(stray).ret(Constant(0))
+        phi = Phi(I32, "merge")
+        phi.add_incoming(Constant(1), left)
+        phi.add_incoming(Constant(2), right)
+        phi.add_incoming(Constant(3), stray)  # stray never branches to join
+        join.append(phi)
+        join.append(Ret(phi))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        assert "do not match predecessors" in str(exc.value)
+
+    def test_phi_after_non_phi(self):
+        module, function, left, right, join = self._diamond()
+        builder = IRBuilder(join)
+        value = builder.add(Constant(1), Constant(2), "x")
+        phi = Phi(I32, "late")
+        phi.add_incoming(Constant(1), left)
+        phi.add_incoming(Constant(2), right)
+        join.append(phi)
+        join.append(Ret(value))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        assert "phi after non-phi instruction" in str(exc.value)
+        assert "bad/join" in str(exc.value)
+
+
+class TestSignatures:
+    def test_value_return_from_void_function(self):
+        module, function = _function(return_type=VOID)
+        entry = function.add_block("entry")
+        entry.append(Ret(Constant(7)))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        message = str(exc.value)
+        assert "return does not match function return type" in message
+        assert "bad" in message
+
+    def test_bare_return_from_value_function(self):
+        module, function = _function(return_type=I32)
+        entry = function.add_block("entry")
+        entry.append(Ret(None))
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function)
+        assert "return does not match function return type" in str(exc.value)
+
+    def test_call_to_unknown_function(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        builder = IRBuilder(entry)
+        result = builder.call("missing", [Constant(1)])
+        builder.ret(result)
+        with pytest.raises(VerificationError) as exc:
+            verify_function(function, module)
+        message = str(exc.value)
+        assert "call to unknown function @missing" in message
+        assert "bad/entry" in message
+
+    def test_host_calls_are_exempt(self):
+        module, function = _function()
+        entry = function.add_block("entry")
+        builder = IRBuilder(entry)
+        result = builder.call("__print", [Constant(1)])
+        builder.ret(result)
+        verify_function(function, module)  # must not raise
+
+
+class TestGoodModules:
+    def test_well_formed_diamond_passes(self):
+        module, function = _function(name="good")
+        entry = function.add_block("entry")
+        left = function.add_block("left")
+        right = function.add_block("right")
+        join = function.add_block("join")
+        builder = IRBuilder(entry)
+        builder.cond_br(Constant(1), left, right)
+        IRBuilder(left).br(join)
+        IRBuilder(right).br(join)
+        phi = Phi(I32, "merge")
+        phi.add_incoming(Constant(1), left)
+        phi.add_incoming(Constant(2), right)
+        join.append(phi)
+        join.append(Ret(phi))
+        verify_module(module)  # must not raise

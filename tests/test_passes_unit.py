@@ -268,6 +268,38 @@ class TestLoopPasses:
         assert len(optimized.functions) > len(module.functions)
         assert run_module(optimized).output == run_module(module).output
 
+    def test_unswitch_drops_phi_entry_of_specialized_branch(self):
+        # Fuzzer-found (seed 397, pointer-heavy): unswitching a loop-invariant
+        # short-circuit branch removed one side of the conditional but left the
+        # dropped successor's phi with a stale incoming entry for the branch
+        # block.  The verifier rejects that IR, and a later simplifycfg folded
+        # the phi to the stale value, miscompiling the program.  The `k && ...`
+        # diamond below puts a phi in the false successor of an unswitchable
+        # branch (licm hoists the invariant `k != 0` test out of the loop).
+        source = """
+        global g0[2] = {5, 9};
+        global acc[1] = {0};
+
+        fn main() -> int {
+          var k = g0[0];
+          for (var i = 0; (i < 8); i = (i + 1)) {
+            acc[0] = ((acc[0] * 31) + (k && g0[(i & 1)]));
+          }
+          print(acc[0]);
+          return acc[0];
+        }
+        """
+        module = compile_source(source)
+        reference = run_module(module.clone())
+        optimized = run_passes(module, ["mem2reg", "licm", "simple-loop-unswitch"],
+                               verify_each=True)
+        from repro.ir.printer import format_module
+        assert ".unswitch" in format_module(optimized), \
+            "unswitch did not fire; the test no longer exercises the pass"
+        result = run_module(optimized)
+        assert result.return_value == reference.return_value
+        assert result.output == reference.output
+
 
 class TestTailCall:
     def test_self_recursive_tail_call_becomes_loop(self):
