@@ -11,14 +11,17 @@
 #   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
 #                        BENCH_backend.json (10% geomean reduction enforced)
 #   make fuzz-smoke      ~200-seed differential fuzzing campaign across all
-#                        generator modes (minutes; fails on any divergence)
+#                        generator modes, journaled and restarted mid-way to
+#                        exercise --resume (minutes; fails on any divergence)
+#   make chaos           fault-injection suite: retries, timeouts, poison-job
+#                        quarantine, cache damage, campaign resume
 #   make docs-check      markdown link check + GUIDE.md quickstart smoke run
 #   make bench           full pytest-benchmark harness (slow)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-engine figures-smoke bench-engine bench-emulator \
+.PHONY: test test-engine chaos figures-smoke bench-engine bench-emulator \
 	bench-passes bench-backend fuzz-smoke docs-check bench clean-cache
 
 test:
@@ -26,6 +29,12 @@ test:
 
 test-engine:
 	$(PYTHON) -m pytest -x -q tests/test_engine.py
+
+# The chaos suite: every fault the engine claims to survive, injected
+# deterministically (FaultPlan) and checked end to end — including a real
+# SIGINT of a running campaign followed by --resume.
+chaos:
+	$(PYTHON) -m pytest -x -q tests/test_faults.py
 
 # Small slices so this finishes in seconds; the second run of each target is
 # expected to report computed=0 (warm disk cache).
@@ -58,14 +67,24 @@ bench-backend:
 
 # Differential fuzzing: generated MiniC programs replayed through every
 # oracle (IR interpreter, both backends, both emulators, cached-vs-fresh
-# pipeline) under both paper profiles.  Exits non-zero on any divergence;
-# failures are delta-debugged to minimal reproducers (override the batch:
-# make fuzz-smoke FUZZ_SEEDS=50 FUZZ_START_SEED=1000).
+# pipeline) under both paper profiles.  Runs as a two-step resumable
+# campaign: the first invocation journals a few shards and stops, the second
+# resumes from the journal and must finish the remainder — exercising the
+# checkpoint/restart path on every CI run.  Exits non-zero on any
+# divergence; failures are delta-debugged to minimal reproducers (override
+# the batch: make fuzz-smoke FUZZ_SEEDS=50 FUZZ_START_SEED=1000).
 FUZZ_SEEDS ?= 200
 FUZZ_START_SEED ?= 0
+FUZZ_JOURNAL ?= .fuzz-smoke-journal.jsonl
 fuzz-smoke:
+	rm -f $(FUZZ_JOURNAL)
 	$(PYTHON) -m repro --no-disk-cache fuzz --seeds $(FUZZ_SEEDS) \
-		--start-seed $(FUZZ_START_SEED) --minimize --json
+		--start-seed $(FUZZ_START_SEED) --journal $(FUZZ_JOURNAL) \
+		--stop-after-shards 4 --json
+	$(PYTHON) -m repro --no-disk-cache fuzz --seeds $(FUZZ_SEEDS) \
+		--start-seed $(FUZZ_START_SEED) --journal $(FUZZ_JOURNAL) \
+		--resume --minimize --json
+	rm -f $(FUZZ_JOURNAL)
 
 # Link-checks README.md/docs/*.md and smoke-runs the GUIDE.md quickstart.
 docs-check:

@@ -23,13 +23,21 @@ content-addressed on-disk cache afterwards:
 * ``repro fuzz``           — differential fuzzing: generated MiniC programs
   replayed through every oracle (IR interpreter, both backends, both
   emulators, cached-vs-fresh pipeline) under both paper profiles, sharded as
-  batched engine jobs; ``--minimize`` reduces failures to ``.repro`` files.
+  batched engine jobs; ``--minimize`` reduces failures to ``.repro`` files,
+  ``--journal``/``--resume`` checkpoint and continue interrupted campaigns.
+* ``repro cache``          — measurement-cache maintenance: ``stats``,
+  ``verify`` (scan + evict corrupt entries), ``clear``.
 * ``repro list KIND``      — enumerate benchmarks/suites/profiles/figures/tables.
 
 Global flags (before the subcommand) select the worker count, the cache
-directory, the emulator's instruction budget, and the two escape hatches
+directory, the emulator's instruction budget, the fault-tolerance knobs
+(``--job-timeout``, ``--retries``, ``--stats``) and the two escape hatches
 (``--no-analysis-cache``, ``--seed-backend``).  ``--json`` on the reporting
 subcommands emits machine-readable output for scripting.
+
+Long campaigns (``fuzz``, ``autotune``) survive interruption: ``Ctrl-C``
+exits with status 130 after journaling completed work, and ``--resume``
+picks up where the journal left off.
 """
 
 from __future__ import annotations
@@ -78,13 +86,26 @@ def _emit(result, as_json: bool) -> None:
     sys.stdout.write("\n")
 
 
-def _report_engine(engine) -> None:
-    """One stderr line showing where this invocation's measurements came from."""
+def _report_engine(engine, full: bool = False) -> None:
+    """One stderr line showing where this invocation's measurements came from.
+
+    ``full`` (the global ``--stats`` flag) appends the complete engine and
+    cache counters — retries, timeouts, quarantined/salvaged jobs — plus any
+    structured job-failure records, as JSON on stderr.
+    """
     stats = engine.stats
     cache_dir = engine.cache.root if engine.cache is not None else "<disabled>"
     print(f"[engine] computed={stats.computed} disk_hits={stats.disk_hits} "
           f"memory_hits={stats.memory_hits} errors={stats.errors} "
+          f"retries={stats.retries} timeouts={stats.timeouts} "
+          f"quarantined={stats.quarantined} "
           f"workers={engine.workers} cache={cache_dir}", file=sys.stderr)
+    if full:
+        report = {"engine": stats.as_dict(),
+                  "cache": engine.cache.stats.as_dict()
+                  if engine.cache is not None else None,
+                  "failures": [f.as_dict() for f in engine.failures]}
+        print(json.dumps(report, indent=2, sort_keys=True), file=sys.stderr)
 
 
 class UsageError(Exception):
@@ -94,6 +115,7 @@ class UsageError(Exception):
 # -- engine / profile plumbing ------------------------------------------------
 def _make_engine(args):
     from .experiments.engine import ExperimentEngine
+    from .experiments.faults import RetryPolicy
 
     return ExperimentEngine(
         max_instructions=args.max_instructions,
@@ -102,6 +124,8 @@ def _make_engine(args):
         use_disk_cache=not args.no_disk_cache,
         analysis_cache=not args.no_analysis_cache,
         seed_backend=getattr(args, "seed_backend", False),
+        job_timeout=args.job_timeout,
+        retry_policy=RetryPolicy(max_attempts=max(1, args.retries)),
     )
 
 
@@ -243,7 +267,7 @@ def _cmd_run(args) -> int:
     print(f"output:        {list(trace.output)}")
     print(f"return value:  {trace.return_value}")
     print(f"instructions:  {trace.instructions}")
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
     return 0
 
 
@@ -267,7 +291,7 @@ def _cmd_measure(args) -> int:
              "risc0 exec s", "risc0 prove s", "sp1 exec s", "sp1 prove s",
              "native s"],
             rows, title="Measurements"))
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
     return 0
 
 
@@ -283,7 +307,7 @@ def _cmd_figure(args) -> int:
                                args.passes, iterations=args.iterations,
                                seed=args.seed)
     _emit(result, as_json=args.json)
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
     return 0
 
 
@@ -298,18 +322,46 @@ def _cmd_table(args) -> int:
     result = _call_regenerator(registry[args.number], engine, benchmarks,
                                args.passes)
     _emit(result, as_json=args.json)
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
     return 0
+
+
+def _journal_for(args, default_name: str):
+    """The journal path for a campaign subcommand, or None when disabled.
+
+    Journaling engages when ``--journal`` names one explicitly or ``--resume``
+    asks to continue the derived default for these campaign parameters.
+    """
+    from .experiments.journal import resolve_journal_path
+
+    if not args.journal and not args.resume:
+        return None
+    return resolve_journal_path(args.journal or default_name,
+                                cache_dir=args.cache_dir)
 
 
 def _cmd_autotune(args) -> int:
     from .autotuner import GeneticAutotuner
+    from .experiments.journal import JournalMismatch
 
     engine = _make_engine(args)
     tuner = GeneticAutotuner(runner=engine, seed=args.seed, zkvm=args.zkvm,
                              population_size=args.population)
-    result = tuner.tune(_check_benchmark(args.benchmark),
-                        iterations=args.iterations)
+    journal = _journal_for(
+        args, f"autotune-{args.benchmark}-{args.seed}-{args.zkvm}")
+    try:
+        result = tuner.tune(_check_benchmark(args.benchmark),
+                            iterations=args.iterations,
+                            journal=journal, resume=args.resume)
+    except JournalMismatch as exc:
+        raise UsageError(str(exc)) from exc
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed generations are journaled"
+              + (f" in {journal} — rerun with --resume to continue"
+                 if journal is not None else
+                 " only with --journal/--resume"), file=sys.stderr)
+        _report_engine(engine, full=args.engine_stats)
+        return 130
     summary = {
         "benchmark": result.benchmark,
         "zkvm": result.zkvm,
@@ -324,7 +376,7 @@ def _cmd_autotune(args) -> int:
         "unroll_threshold": result.best.unroll_threshold,
     }
     _emit(summary, as_json=args.json)
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
     return 0
 
 
@@ -448,23 +500,54 @@ def _cmd_lower(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    from .experiments.journal import JournalMismatch
     from .fuzz import HarnessConfig, run_campaign
     from .fuzz.driver import DEFAULT_MAX_MINIMIZE
 
     engine = _make_engine(args)
     config = HarnessConfig(emulator_max_instructions=args.max_instructions)
+    journal = _journal_for(
+        args, f"fuzz-{args.mode}-{args.start_seed}+{args.seeds}")
     try:
         summary = run_campaign(
             seeds=args.seeds, mode=args.mode, start_seed=args.start_seed,
             engine=engine, config=config, minimize=args.minimize,
             corpus_dir=args.corpus_dir, shard_size=args.shard_size,
             max_minimize=args.max_minimize
-            if args.max_minimize is not None else DEFAULT_MAX_MINIMIZE)
+            if args.max_minimize is not None else DEFAULT_MAX_MINIMIZE,
+            journal=journal, resume=args.resume,
+            stop_after_shards=args.stop_after_shards)
     except ValueError as exc:
         raise UsageError(str(exc)) from exc
+    except JournalMismatch as exc:
+        raise UsageError(str(exc)) from exc
     _emit(summary.as_dict(), as_json=args.json)
-    _report_engine(engine)
+    _report_engine(engine, full=args.engine_stats)
+    if summary.interrupted:
+        print("interrupted; completed shards are journaled"
+              + (f" in {journal} — rerun with --resume to continue"
+                 if journal is not None else
+                 " only with --journal/--resume"), file=sys.stderr)
+        return 130
     return 0 if summary.clean else 1
+
+
+def _cmd_cache(args) -> int:
+    from .experiments.cache import MeasurementCache
+
+    if args.no_disk_cache:
+        raise UsageError("'repro cache' manages the disk cache; "
+                         "--no-disk-cache disables it")
+    cache = MeasurementCache(args.cache_dir)
+    if args.action == "stats":
+        report = cache.size_report()
+    elif args.action == "verify":
+        report = cache.verify()
+    else:  # clear
+        report = {"root": str(cache.root), "removed": cache.clear()}
+    _emit(report, as_json=args.json)
+    # verify is an fsck: finding (and evicting) corruption is a nonzero exit.
+    return 1 if report.get("corrupt_removed", 0) else 0
 
 
 def _cmd_list(args) -> int:
@@ -513,6 +596,19 @@ def build_parser() -> argparse.ArgumentParser:
                              "measurements are cached separately")
     parser.add_argument("--max-instructions", type=int, default=20_000_000,
                         help="emulator instruction budget per run")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds for "
+                             "batched jobs; a job running longer has its "
+                             "worker killed and is retried or quarantined "
+                             "(default: no timeout)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="attempts per batched job before it is "
+                             "quarantined (transient failures and timeouts "
+                             "only; default: 3)")
+    # dest avoids colliding with 'repro lower --stats' (a different report).
+    parser.add_argument("--stats", dest="engine_stats", action="store_true",
+                        help="print full engine/cache fault-tolerance "
+                             "counters and job-failure records to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("compile", help="show a benchmark's compiled form")
@@ -563,6 +659,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--population", type=int, default=12)
     p.add_argument("--zkvm", choices=["risc0", "sp1"], default="risc0")
+    p.add_argument("--journal", default=None,
+                   help="checkpoint each generation to this journal (a name "
+                        "under the cache root, or a path)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the journal's last generation "
+                        "(restores population, history and RNG state)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_autotune)
 
@@ -611,8 +713,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="programs per batched engine job")
     p.add_argument("--max-minimize", type=int, default=None,
                    help="cap on minimizations per campaign (default: 25)")
+    p.add_argument("--journal", default=None,
+                   help="checkpoint each completed shard to this journal "
+                        "(a name under the cache root, or a path)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the journal's completed shards and run only "
+                        "the missing ones")
+    p.add_argument("--stop-after-shards", type=int, default=None,
+                   help="submit at most this many shards, then stop "
+                        "(resumable; for incremental campaigns)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("cache",
+                       help="measurement-cache maintenance "
+                            "(stats / verify / clear)")
+    p.add_argument("action", choices=["stats", "verify", "clear"],
+                   help="stats: entry count and footprint; verify: load-check "
+                        "every entry, evicting corrupt ones (exit 1 if any); "
+                        "clear: delete every entry")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("list", help="enumerate available inputs")
     p.add_argument("kind", choices=["benchmarks", "suites", "profiles",

@@ -16,6 +16,14 @@ from .profiles import (
 from .runner import BenchmarkRunner, Measurement, percent_change, warm_matrix
 from .cache import CacheStats, MeasurementCache, measurement_fingerprint
 from .engine import EngineStats, ExperimentEngine, default_engine
+from .faults import (
+    FaultPlan, FaultSpec, JobFailure, PoisonJobError, RetryPolicy,
+    TransientError, classify_error, fault_point,
+)
+from .journal import (
+    CampaignJournal, JournalMismatch, default_journal_dir,
+    resolve_journal_path,
+)
 from . import figures, tables
 
 __all__ = [
@@ -25,5 +33,9 @@ __all__ = [
     "BenchmarkRunner", "Measurement", "percent_change", "warm_matrix",
     "CacheStats", "MeasurementCache", "measurement_fingerprint",
     "EngineStats", "ExperimentEngine", "default_engine",
+    "FaultPlan", "FaultSpec", "JobFailure", "PoisonJobError", "RetryPolicy",
+    "TransientError", "classify_error", "fault_point",
+    "CampaignJournal", "JournalMismatch", "default_journal_dir",
+    "resolve_journal_path",
     "figures", "tables",
 ]

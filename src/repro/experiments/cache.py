@@ -14,10 +14,13 @@ rediscovers the ``-O2`` pass list hits the cache entry the level sweep already
 paid for, while any change to a threshold, a model parameter or a benchmark
 source invalidates only the affected entries.
 
-Entries are pickled ``Measurement`` objects stored under
+Entries are pickled ``(schema_version, Measurement)`` envelopes stored under
 ``<root>/<2-hex-shard>/<sha256>.pkl``.  Writes are atomic (temp file +
 ``os.replace``) so concurrent engines sharing one cache directory never
-observe torn entries; corrupt or unreadable entries are treated as misses.
+observe torn entries; corrupt, truncated, unreadable or wrong-schema entries
+are treated as misses, counted on ``stats.errors`` and evicted, so a damaged
+cache always degrades to recomputation instead of failing runs
+(``repro cache verify`` runs that eviction as a batch scan).
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..cpu import DEFAULT_CPU
 from ..zkvm.models import COST_MODEL_VERSION, ZKVMS
+from .faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..benchmarks import Benchmark
@@ -41,7 +45,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import Measurement
 
 #: Bump when the on-disk entry format (or Measurement's shape) changes.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2 wraps every entry in a ``(schema, measurement)`` envelope so a
+#: reader can reject entries written by an incompatible format instead of
+#: unpickling them blind.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -150,13 +157,17 @@ class MeasurementCache:
     def get(self, key: str) -> Optional["Measurement"]:
         """The cached measurement for ``key``, or None on a miss.
 
-        Unreadable or corrupt entries count as misses (and are removed), so
-        a damaged cache degrades to recomputation instead of failing runs.
+        Unreadable, truncated, corrupt or wrong-schema entries count as
+        misses (and are removed), so a damaged cache degrades to
+        recomputation instead of failing runs.
         """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
-                measurement = pickle.load(handle)
+                envelope = pickle.load(handle)
+            if not (isinstance(envelope, tuple) and len(envelope) == 2
+                    and envelope[0] == CACHE_SCHEMA_VERSION):
+                raise ValueError(f"cache entry schema mismatch: {envelope!r:.60}")
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -169,7 +180,7 @@ class MeasurementCache:
                 pass
             return None
         self.stats.hits += 1
-        return measurement
+        return envelope[1]
 
     def put(self, key: str, measurement: "Measurement") -> None:
         """Persist ``measurement`` under ``key`` (atomic, last-writer-wins)."""
@@ -178,7 +189,8 @@ class MeasurementCache:
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(measurement, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump((CACHE_SCHEMA_VERSION, measurement), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except Exception:
             self.stats.errors += 1
@@ -188,6 +200,9 @@ class MeasurementCache:
                 pass
             return
         self.stats.stores += 1
+        # Chaos-suite hook: lets a FaultPlan damage the entry it just wrote,
+        # proving the read path degrades to a miss + recompute.
+        fault_point("cache-put", key, path=path)
 
     # -- maintenance ---------------------------------------------------------
     def __len__(self) -> int:
@@ -205,6 +220,42 @@ class MeasurementCache:
             except OSError:
                 pass
         return removed
+
+    def size_report(self) -> dict:
+        """Entry count and on-disk footprint (``repro cache stats``)."""
+        entries = 0
+        size = 0
+        for path in self.root.glob("*/*.pkl"):
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return {"root": str(self.root), "schema": CACHE_SCHEMA_VERSION,
+                "entries": entries, "bytes": size,
+                "stats": self.stats.as_dict()}
+
+    def verify(self) -> dict:
+        """Load-check every entry, evicting damaged ones.
+
+        Each entry goes through the normal :meth:`get` path, so corrupt,
+        truncated or wrong-schema files are removed and counted on
+        ``stats.errors`` exactly as a cache probe would have done — this is
+        simply that degradation run eagerly over the whole store
+        (``repro cache verify``).
+        """
+        checked = ok = corrupt_removed = 0
+        for path in sorted(self.root.glob("*/*.pkl")):
+            checked += 1
+            errors_before = self.stats.errors
+            if (self.get(path.stem) is not None
+                    and self.stats.errors == errors_before):
+                ok += 1
+            elif not path.exists():
+                corrupt_removed += 1
+        return {"root": str(self.root), "checked": checked, "ok": ok,
+                "corrupt_removed": corrupt_removed,
+                "errors": self.stats.errors}
 
 
 __all__ = ["CACHE_SCHEMA_VERSION", "CacheStats", "MeasurementCache",

@@ -233,17 +233,25 @@ class BenchmarkRunner:
         shard the batch across worker processes and an on-disk cache with the
         same deterministic result ordering.  With ``on_error="none"`` a
         failing job yields ``None`` instead of propagating (used by the
-        autotuner, whose candidates may exceed the instruction budget).
+        autotuner, whose candidates may exceed the instruction budget);
+        ``on_error="report"`` yields a structured
+        :class:`~repro.experiments.faults.JobFailure` record instead.
         """
         results: list[Optional[Measurement]] = []
         for benchmark_name, profile in pairs:
             try:
                 results.append(self.measure(benchmark_name, profile,
                                             use_cache=use_cache))
-            except Exception:
-                if on_error != "none":
+            except Exception as exc:
+                if on_error == "none":
+                    results.append(None)
+                elif on_error == "report":
+                    from .faults import failure_from_exception
+
+                    results.append(failure_from_exception(
+                        f"{benchmark_name}/{profile.name}", exc, attempts=1))
+                else:
                     raise
-                results.append(None)
         return results
 
     def measure_many(self, benchmark_names: list[str],
