@@ -6,6 +6,10 @@
 #   make bench-engine    serial vs parallel vs warm-cache wall-time report
 #   make bench-emulator  fast vs reference interpreter Minstr/s; writes
 #                        BENCH_emulator.json (perf trajectory across PRs)
+#   make bench-emulator-batched
+#                        adds the batched lockstep emulator pass (256 lanes)
+#                        and enforces its aggregate speedup bar (5x warm
+#                        single-stream in CI; locally lands 20x+)
 #   make bench-passes    cached vs seed pass-pipeline compile time; writes
 #                        BENCH_passes.json (1.5x bar enforced)
 #   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
@@ -22,7 +26,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-engine chaos figures-smoke bench-engine bench-emulator \
-	bench-passes bench-backend fuzz-smoke docs-check bench clean-cache
+	bench-emulator-batched bench-passes bench-backend fuzz-smoke \
+	docs-check bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,6 +54,17 @@ bench-engine:
 # Fails if the pre-decoded fast path drops below 3x the seed interpreter.
 bench-emulator:
 	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json
+
+# Adds the batched lockstep pass: every lane is differentially checked
+# against the single-stream trace, and the batched aggregate must beat the
+# warm single-stream aggregate (override: make bench-emulator-batched
+# BENCH_BATCHED_BAR=3 BENCH_BATCHED_LANES=64).
+BENCH_BATCHED_BAR ?= 5.0
+BENCH_BATCHED_LANES ?= 256
+bench-emulator-batched:
+	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json \
+		--batched --lanes $(BENCH_BATCHED_LANES) \
+		--min-batched-speedup $(BENCH_BATCHED_BAR)
 
 # Fails if the invalidation-aware pipeline drops below 1.5x the preserved
 # seed pass manager (override: make bench-passes BENCH_PASSES_BAR=1.2).

@@ -260,6 +260,30 @@ def _cmd_run(args) -> int:
         print(f"return value:  {trace.return_value}")
         print(f"instructions:  {trace.instructions}")
         return 0
+    if getattr(args, "batch", False):
+        # Replay the benchmark across N lockstep lanes of the batched
+        # NumPy emulator; every lane must agree (same program, same inputs).
+        import time as _time
+
+        from .emulator.batched import require_numpy
+
+        require_numpy()
+        lanes = args.lanes
+        start = _time.perf_counter()
+        stats = engine.run_batched(benchmark_name, profile, num_lanes=lanes)
+        elapsed = _time.perf_counter() - start
+        first = stats[0]
+        if any(trace != first for trace in stats):
+            print("FAIL: lanes diverged on identical inputs", file=sys.stderr)
+            return 1
+        total = sum(trace.instructions for trace in stats)
+        print(f"benchmark:     {benchmark_name} [batched x{lanes} lanes]")
+        print(f"profile:       {profile.name}")
+        print(f"output:        {list(first.output)}")
+        print(f"return value:  {first.return_value}")
+        print(f"instructions:  {first.instructions} per lane, {total} total")
+        print(f"throughput:    {total / elapsed / 1e6:.2f} Minstr/s aggregate")
+        return 0
     measurement = engine.measure(benchmark_name, profile)
     trace = measurement.trace
     print(f"benchmark:     {measurement.benchmark}")
@@ -625,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reference", action="store_true",
                    help="replay on the seed reference interpreter "
                         "(slow; for differential debugging)")
+    p.add_argument("--batch", action="store_true",
+                   help="replay across N lockstep lanes of the batched "
+                        "NumPy emulator and report aggregate throughput")
+    p.add_argument("--lanes", type=int, default=64, metavar="N",
+                   help="lane count for --batch (default: 64)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("measure", help="measure benchmark × profile pairs")

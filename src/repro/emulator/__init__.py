@@ -9,11 +9,13 @@ Two interchangeable execution paths live here:
   as the executable specification for differential testing.
 """
 
+from .batched import BatchedMachine, numpy_available, run_batched
 from .decoder import DecodedProgram, decode_program
 from .machine import EmulationError, Machine, run_program
 from .reference import ReferenceMachine, run_program_reference
 from .trace import PAGE_SIZE, TraceStats
 
-__all__ = ["DecodedProgram", "decode_program", "EmulationError", "Machine",
-           "ReferenceMachine", "run_program", "run_program_reference",
+__all__ = ["BatchedMachine", "DecodedProgram", "decode_program",
+           "EmulationError", "Machine", "ReferenceMachine", "numpy_available",
+           "run_batched", "run_program", "run_program_reference",
            "PAGE_SIZE", "TraceStats"]

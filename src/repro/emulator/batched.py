@@ -1,0 +1,911 @@
+"""Batched lockstep guest execution: N lanes of one decoded program.
+
+The fast :class:`~repro.emulator.machine.Machine` replays one guest at a
+time; every downstream consumer that wants throughput (autotuner
+generations, fuzz shards, figure sweeps) runs the *same program* many times
+with different inputs or argument vectors.  :class:`BatchedMachine` executes
+N such runs ("lanes") in lockstep through NumPy structure-of-arrays state:
+
+* the register file is one ``(num_slots, N)`` uint32 array — one row per
+  register slot, one column per lane — so an ``add`` for a whole group of
+  lanes is a single vectorized operation;
+* memory is a shared page table ``{page -> (N, 256) uint32}`` (1 KiB pages,
+  word-indexed), so loads/stores over lanes that share a page are one NumPy
+  gather/scatter;
+* diverging PCs are handled by per-PC lane *grouping*: lanes are bucketed by
+  their current pc, the scheduler repeatedly picks the bucket with the most
+  live lanes and runs it straight-line until the group splits (a mixed
+  branch outcome, divergent ``jalr`` targets, a halt or a fault), then
+  re-buckets the fragments — groups arriving at the same pc merge again.
+
+Statistics are collected so that every lane's :class:`TraceStats` matches a
+single-stream :class:`Machine` run byte-for-byte: per-pc execution counters
+live in a ``(code, N)`` array updated per *group* (a dissolved group applies
+its shared path counts to all member lanes at once), and the per-segment
+paging flush runs off per-lane countdowns exactly like the scalar machine's.
+Host calls and faults drop to per-lane scalar handling — they are rare, and
+scalar handling is what makes the observable semantics (fault ordering,
+pre-fault side effects, per-lane output streams) line up with ``machine.py``.
+
+NumPy is an optional dependency of this module only: importing the package
+works without it, and :func:`require_numpy` raises a clear error when batched
+execution is requested on an interpreter without NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # gated: the rest of the emulator package must work without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - CI images ship numpy via scipy
+    np = None  # type: ignore[assignment]
+
+from ..backend.isa import AssemblyProgram
+from ..backend.lowering import STACK_TOP
+from ..zkvm.precompiles import HOST_CALL_ARITY, interpret_host_call
+from .decoder import (
+    CONDITIONAL_KINDS, K_ADD, K_ADDI, K_ALU_RI, K_ALU_RR, K_BAD, K_BEQZ,
+    K_BNEZ, K_BR, K_CALL, K_ECALL, K_J, K_JAL, K_JALR, K_LI, K_LW, K_MV,
+    K_NOP, K_SW, RETURN_SENTINEL, WORD_MASK, decode_program, to_signed,
+)
+from .machine import HOST_CALL_NAMES, EmulationError
+from .trace import PAGE_SIZE, TraceStats
+
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+_WORDS_PER_PAGE = PAGE_SIZE // 4
+
+
+def numpy_available() -> bool:
+    """True when the optional NumPy dependency is importable."""
+    return np is not None
+
+
+def require_numpy() -> None:
+    """Raise a clear error when batched execution is requested without NumPy."""
+    if np is None:
+        raise RuntimeError(
+            "batched emulation requires numpy, which is not installed; "
+            "use the single-stream Machine instead")
+
+
+# -- vectorized operator tables ------------------------------------------------
+# Built lazily (first batched decode) so the module imports without numpy.
+# Each entry mirrors one scalar impl in decoder.ALU_REG_IMPLS /
+# _ALU_IMM_DECODED / BRANCH_IMPLS over uint32 lane vectors: uint32 arithmetic
+# wraps mod 2^32 natively, signed comparisons/shifts go through int32 views,
+# and div/rem widen to int64 with the divisor-zero cases patched via where().
+_TABLES = None
+
+
+def _build_tables():
+    U32, I32, I64 = np.uint32, np.int32, np.int64
+    SHIFT_MASK = U32(31)
+    M64 = I64(WORD_MASK)
+
+    def _sra(a, b):
+        return (a.view(I32) >> (b & SHIFT_MASK).view(I32)).view(U32)
+
+    def _div(a, b):
+        sa = a.view(I32).astype(I64)
+        sb = b.view(I32).astype(I64)
+        zero = sb == 0
+        q = np.abs(sa) // np.abs(np.where(zero, 1, sb))
+        q = np.where((sa < 0) != (sb < 0), -q, q) & M64
+        return np.where(zero, M64, q).astype(U32)
+
+    def _rem(a, b):
+        sa = a.view(I32).astype(I64)
+        sb = b.view(I32).astype(I64)
+        zero = sb == 0
+        r = np.abs(sa) % np.abs(np.where(zero, 1, sb))
+        r = np.where(sa < 0, -r, r) & M64
+        return np.where(zero, a.astype(I64), r).astype(U32)
+
+    def _divu(a, b):
+        zero = b == 0
+        return np.where(zero, U32(WORD_MASK), a // np.where(zero, U32(1), b))
+
+    def _remu(a, b):
+        zero = b == 0
+        return np.where(zero, a, a % np.where(zero, U32(1), b))
+
+    alu_rr = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "and": lambda a, b: a & b,
+        "or": lambda a, b: a | b,
+        "xor": lambda a, b: a ^ b,
+        "sll": lambda a, b: a << (b & SHIFT_MASK),
+        "srl": lambda a, b: a >> (b & SHIFT_MASK),
+        "sra": _sra,
+        "slt": lambda a, b: (a.view(I32) < b.view(I32)).astype(U32),
+        "sltu": lambda a, b: (a < b).astype(U32),
+        "mul": lambda a, b: a * b,
+        "div": _div,
+        "divu": _divu,
+        "rem": _rem,
+        "remu": _remu,
+    }
+
+    # Immediate ops receive the decoder's *prepared* immediate (masked for
+    # logical ops, &31 for shifts, raw for slti); each maker returns the
+    # (vector-ready immediate, vector fn) pair for the batched tuple.
+    def _ri_slti(prepared):
+        # to_signed(a) is always within int32, so out-of-range immediates
+        # make the comparison a constant.
+        if prepared >= 1 << 31:
+            return None, lambda a, i: np.ones_like(a)
+        if prepared < -(1 << 31):
+            return None, lambda a, i: np.zeros_like(a)
+        return I32(prepared), lambda a, i: (a.view(I32) < i).astype(U32)
+
+    alu_ri_makers = {
+        "andi": lambda p: (U32(p), lambda a, i: a & i),
+        "ori": lambda p: (U32(p), lambda a, i: a | i),
+        "xori": lambda p: (U32(p), lambda a, i: a ^ i),
+        "sltiu": lambda p: (U32(p), lambda a, i: (a < i).astype(U32)),
+        "slti": _ri_slti,
+        "slli": lambda p: (U32(p), lambda a, i: a << i),
+        "srli": lambda p: (U32(p), lambda a, i: a >> i),
+        "srai": lambda p: (I32(p), lambda a, i: (a.view(I32) >> i).view(U32)),
+    }
+
+    branch = {
+        "beq": lambda a, b: a == b,
+        "bne": lambda a, b: a != b,
+        "blt": lambda a, b: a.view(I32) < b.view(I32),
+        "bge": lambda a, b: a.view(I32) >= b.view(I32),
+        "bltu": lambda a, b: a < b,
+        "bgeu": lambda a, b: a >= b,
+    }
+    return alu_rr, alu_ri_makers, branch
+
+
+def _batch_decode(decoded):
+    """Re-lower a :class:`DecodedProgram`'s tuples for vector dispatch.
+
+    Immediates and offsets are pre-masked to uint32 scalars (so uint32 lane
+    arithmetic wraps exactly like the scalar ``& WORD_MASK``), and the bound
+    scalar ALU/branch callables are swapped for their vector twins.  Cached on
+    the decoded program — shared by every BatchedMachine for that program.
+    """
+    cached = getattr(decoded, "_batched_cache", None)
+    if cached is not None:
+        return cached
+    global _TABLES
+    if _TABLES is None:
+        _TABLES = _build_tables()
+    alu_rr, alu_ri_makers, branch = _TABLES
+    U32 = np.uint32
+    M = WORD_MASK
+
+    code = []
+    for pc, ins in enumerate(decoded.code):
+        k = ins[0]
+        op = decoded.opcodes[pc]
+        if k == K_ADDI:
+            t = (k, ins[1], ins[2], U32(ins[3] & M))
+        elif k == K_ALU_RR:
+            t = (k, ins[1], ins[2], ins[3], alu_rr[op])
+        elif k == K_ALU_RI:
+            imm, fn = alu_ri_makers[op](ins[3])
+            t = (k, ins[1], ins[2], imm, fn)
+        elif k == K_LI:
+            t = (k, ins[1], U32(ins[2]))
+        elif k == K_LW:
+            t = (k, ins[1], U32(ins[2] & M), ins[3])
+        elif k == K_SW:
+            t = (k, ins[1], U32(ins[2] & M), ins[3])
+        elif k == K_BR:
+            t = (k, ins[1], ins[2], ins[3], branch[op])
+        elif k == K_JALR:
+            t = (k, ins[1], ins[2], U32(ins[3] & M), ins[4])
+        else:  # K_ADD/K_MV/K_BEQZ/K_BNEZ/K_J/K_CALL/K_JAL/K_ECALL/K_NOP/K_BAD
+            t = ins
+        code.append(t)
+    try:
+        decoded._batched_cache = code
+    except (AttributeError, TypeError):  # pragma: no cover - slotted subclass
+        pass
+    return code
+
+
+class _LaneHost:
+    """One lane's :class:`~repro.zkvm.precompiles.GuestMemory` view.
+
+    Host calls see exactly what they see on the scalar machine: word-granular
+    memory access (uncounted by the paging stats, as in ``Machine._read_word``),
+    the lane's output stream, and the lane's input vector.
+    """
+
+    __slots__ = ("_machine", "_lane", "output", "input_values")
+
+    def __init__(self, machine: "BatchedMachine", lane: int):
+        self._machine = machine
+        self._lane = lane
+        self.output = machine._outputs[lane]
+        self.input_values = machine._lane_inputs[lane]
+
+    def _read_word(self, address: int) -> int:
+        machine = self._machine
+        address &= WORD_MASK & ~3
+        page = machine._pages.get(address >> _PAGE_SHIFT)
+        if page is None:
+            return 0
+        return int(page[self._lane, (address >> 2) & (_WORDS_PER_PAGE - 1)])
+
+    def _write_word(self, address: int, value: int) -> None:
+        machine = self._machine
+        address &= WORD_MASK & ~3
+        page = machine._page(address >> _PAGE_SHIFT)
+        page[self._lane, (address >> 2) & (_WORDS_PER_PAGE - 1)] = value & WORD_MASK
+
+
+class BatchedMachine:
+    """N lockstep lanes of one program through structure-of-arrays state.
+
+    Lanes are fully independent guests — same decoded code, private registers
+    / memory / stats columns — so any lane-grouping schedule is semantically
+    equivalent to N scalar runs; grouping only decides how much of the work
+    is vectorized.  ``run()`` returns one :class:`TraceStats` per lane.
+
+    A lane that faults (bad opcode, instruction limit, unknown label...)
+    records the exception in :attr:`lane_errors` and a partial, folded
+    TraceStats — exactly the state a scalar ``Machine`` leaves behind — while
+    the other lanes run to completion.  By default ``run()`` re-raises the
+    first faulted lane's exception at the end; pass ``capture_faults=True``
+    to get the per-lane errors instead.
+    """
+
+    def __init__(self, program: AssemblyProgram, num_lanes: int,
+                 max_instructions: int = 50_000_000, segment_size: int = 1 << 16,
+                 input_values: Optional[Sequence[int]] = None,
+                 lane_inputs: Optional[Sequence[Optional[Sequence[int]]]] = None,
+                 capture_faults: bool = False):
+        require_numpy()
+        if num_lanes < 1:
+            raise ValueError("num_lanes must be >= 1")
+        if segment_size < 1:
+            raise ValueError("segment_size must be >= 1")
+        if lane_inputs is not None and len(lane_inputs) != num_lanes:
+            raise ValueError("lane_inputs must have one entry per lane")
+        self.program = program
+        self.decoded = decode_program(program)
+        self.num_lanes = num_lanes
+        self.max_instructions = max_instructions
+        self.segment_size = segment_size
+        self.capture_faults = capture_faults
+        self._bcode = _batch_decode(self.decoded)
+        self._input_spec = (list(lane_inputs) if lane_inputs is not None
+                            else [input_values] * num_lanes)
+        self._reset_run_state()
+
+    # -- state ----------------------------------------------------------------
+    def _reset_run_state(self) -> None:
+        N = self.num_lanes
+        decoded = self.decoded
+        self._regs = np.zeros((decoded.num_slots, N), np.uint32)
+        #: page -> (N, words_per_page) uint32 lane-major data.
+        self._pages: dict = {}
+        #: page -> (access counts, seg read, seg written, ever read, ever
+        #: written) per-lane rows, created together on first touch.
+        self._pstats: dict = {}
+        for address, value in self.program.globals_init.items():
+            address &= WORD_MASK & ~3
+            page = self._page(address >> _PAGE_SHIFT)
+            page[:, (address >> 2) & (_WORDS_PER_PAGE - 1)] = value & WORD_MASK
+        self._ec = np.zeros((len(decoded.code), N), np.int64)
+        self._tc: dict = {}  # branch pc -> (N,) taken counts, lazily
+        self._seg_left = np.full(N, self.segment_size, np.int64)
+        self._limit_left = np.full(N, self.max_instructions, np.int64)
+        self._executed = np.zeros(N, np.int64)
+        self._page_in = np.zeros(N, np.int64)
+        self._page_out = np.zeros(N, np.int64)
+        self._outputs: List[list] = [[] for _ in range(N)]
+        self._host_calls: List[dict] = [{} for _ in range(N)]
+        self._lane_inputs = [None if iv is None else list(iv)
+                             for iv in self._input_spec]
+        self._stats: List[Optional[TraceStats]] = [None] * N
+        self._errors: List[Optional[BaseException]] = [None] * N
+        self._buckets: dict = {}
+        self._rows = np.arange(N, dtype=np.int64)
+        self.lane_page_in_events: List[int] = [0] * N
+        self.lane_page_out_events: List[int] = [0] * N
+        self._ran = False
+
+    def _page(self, page_num: int):
+        page = self._pages.get(page_num)
+        if page is None:
+            page = self._pages[page_num] = np.zeros(
+                (self.num_lanes, _WORDS_PER_PAGE), np.uint32)
+        return page
+
+    def _page_stats(self, page_num: int):
+        rows = self._pstats.get(page_num)
+        if rows is None:
+            N = self.num_lanes
+            rows = self._pstats[page_num] = (
+                np.zeros(N, np.int64),                  # access counts
+                np.zeros(N, bool), np.zeros(N, bool),   # segment read/written
+                np.zeros(N, bool), np.zeros(N, bool),   # ever read/written
+            )
+        return rows
+
+    def _tc_row(self, pc: int):
+        row = self._tc.get(pc)
+        if row is None:
+            row = self._tc[pc] = np.zeros(self.num_lanes, np.int64)
+        return row
+
+    # -- the lane-group scheduler ---------------------------------------------
+    def run(self, entry: str = "main", args: Optional[Sequence[int]] = None,
+            lane_args: Optional[Sequence[Optional[Sequence[int]]]] = None
+            ) -> List[TraceStats]:
+        """Execute every lane to halt (or fault); one TraceStats per lane.
+
+        ``args`` seeds a0..a7 identically on all lanes; ``lane_args`` gives
+        each lane its own argument vector (and overrides ``args``).
+        """
+        decoded = self.decoded
+        if entry not in decoded.entries:
+            raise EmulationError(f"no such function: {entry}")
+        if lane_args is not None and len(lane_args) != self.num_lanes:
+            raise ValueError("lane_args must have one entry per lane")
+        if self._ran:
+            self._reset_run_state()
+        self._ran = True
+        regs = self._regs
+        if lane_args is not None:
+            for lane, vector in enumerate(lane_args):
+                for index, value in enumerate((vector or [])[:8]):
+                    regs[10 + index, lane] = value & WORD_MASK
+        elif args:
+            for index, value in enumerate(args[:8]):
+                regs[10 + index, :] = value & WORD_MASK
+        regs[2, :] = STACK_TOP
+        regs[1, :] = np.uint32(RETURN_SENTINEL)
+
+        buckets = self._buckets
+        buckets[decoded.entries[entry]] = self._rows.copy()
+        while buckets:
+            # Largest group first (ties: lowest pc, for determinism).
+            pc = min(buckets, key=lambda p: (-buckets[p].size, p))
+            self._run_group(pc, buckets.pop(pc))
+
+        self.lane_page_in_events = [int(v) for v in self._page_in]
+        self.lane_page_out_events = [int(v) for v in self._page_out]
+        self.lane_errors = list(self._errors)
+        self.lane_stats = list(self._stats)
+        if not self.capture_faults:
+            for error in self._errors:
+                if error is not None:
+                    raise error
+        return list(self._stats)
+
+    def _run_group(self, pc: int, lanes) -> None:
+        """Run one pc-group straight-line until it splits, halts or faults.
+
+        Shared bookkeeping (the path's per-pc counts, the step total, the
+        segment/limit countdown minimums) is kept in plain Python scalars and
+        applied to the member lanes' arrays only when the group dissolves —
+        the straight-line hot loop does a handful of NumPy vector ops and two
+        dict updates per instruction, regardless of lane count.
+        """
+        decoded = self.decoded
+        code = self._bcode
+        code_len = len(code)
+        regs = self._regs
+        n = lanes.size
+        full = n == self.num_lanes
+        # Register rows are indexed with a plain slice when the group is all
+        # lanes (a lane only leaves the full group by retiring or faulting,
+        # and dead lanes' registers are never read again — their stats are
+        # folded at retirement).  Memory/stat updates always use lane arrays.
+        idx = slice(None) if full else lanes
+        rows = self._rows if full else lanes
+        path: dict = {}
+        taken: dict = {}
+        steps = 0
+        seg_size = self.segment_size
+        seg_left = self._seg_left
+        # Countdowns relative to group entry; per-lane values are written
+        # back by _dissolve.
+        seg_rel = int(seg_left[lanes].min())
+        lim_rel = int(self._limit_left[lanes].min())
+        SENTINEL = RETURN_SENTINEL
+        ADDI, ADD, ALU_RR, ALU_RI, LW, SW, BR, MV, LI, BEQZ, BNEZ, J, CALL, \
+            JAL, JALR, ECALL, NOP, BAD = (
+                K_ADDI, K_ADD, K_ALU_RR, K_ALU_RI, K_LW, K_SW, K_BR, K_MV,
+                K_LI, K_BEQZ, K_BNEZ, K_J, K_CALL, K_JAL, K_JALR, K_ECALL,
+                K_NOP, K_BAD)
+
+        while True:
+            if not 0 <= pc < code_len:
+                self._dissolve(lanes, path, taken, steps)
+                self._fault_lanes(lanes, EmulationError(
+                    f"program counter out of range: {pc}"))
+                return
+            if lim_rel <= 0:
+                # At least one lane is out of budget; fault those, re-bucket
+                # the rest (the limit check precedes execution, as in the
+                # scalar machine).
+                self._dissolve(lanes, path, taken, steps)
+                left = self._limit_left[lanes]
+                exhausted = lanes[left <= 0]
+                rest = lanes[left > 0]
+                self._fault_lanes(exhausted, EmulationError(
+                    f"instruction limit exceeded ({self.max_instructions})"))
+                if rest.size:
+                    self._settle_segments(rest)
+                    self._enqueue(pc, rest)
+                return
+            ins = code[pc]
+            k = ins[0]
+            path[pc] = path.get(pc, 0) + 1
+            steps += 1
+            lim_rel -= 1
+            if k == ADDI:
+                rd = ins[1]
+                if rd:
+                    # Full groups write through out= (one ufunc call, no
+                    # temporary); rows never overlap hazardously (the ufunc
+                    # is elementwise over same-shape operands).
+                    if full:
+                        np.add(regs[ins[2]], ins[3], out=regs[rd])
+                    else:
+                        regs[rd][lanes] = regs[ins[2]][lanes] + ins[3]
+                pc += 1
+            elif k == ADD:
+                rd = ins[1]
+                if rd:
+                    if full:
+                        np.add(regs[ins[2]], regs[ins[3]], out=regs[rd])
+                    else:
+                        regs[rd][lanes] = regs[ins[2]][lanes] + regs[ins[3]][lanes]
+                pc += 1
+            elif k == ALU_RR:
+                rd = ins[1]
+                if rd:
+                    regs[rd][idx] = ins[4](regs[ins[2]][idx], regs[ins[3]][idx])
+                pc += 1
+            elif k == ALU_RI:
+                rd = ins[1]
+                if rd:
+                    regs[rd][idx] = ins[4](regs[ins[2]][idx], ins[3])
+                pc += 1
+            elif k == LW:
+                addresses = regs[ins[3]][idx] + ins[2]
+                pages = addresses >> _PAGE_SHIFT
+                first = pages[0]
+                rd = ins[1]
+                if (pages == first).all():
+                    counts, seg_read = self._page_stats(int(first))[:2]
+                    counts[idx] += 1
+                    seg_read[idx] = True
+                    if rd:
+                        page = self._page(int(first))
+                        regs[rd][idx] = page[
+                            rows, (addresses >> 2) & (_WORDS_PER_PAGE - 1)]
+                else:
+                    self._access_multi(rows, addresses, pages, rd, idx, False)
+                pc += 1
+            elif k == SW:
+                addresses = regs[ins[3]][idx] + ins[2]
+                pages = addresses >> _PAGE_SHIFT
+                first = pages[0]
+                if (pages == first).all():
+                    counts, _, seg_written = self._page_stats(int(first))[:3]
+                    counts[idx] += 1
+                    seg_written[idx] = True
+                    page = self._page(int(first))
+                    page[rows, (addresses >> 2) & (_WORDS_PER_PAGE - 1)] = \
+                        regs[ins[1]][idx]
+                else:
+                    self._access_multi(rows, addresses, pages, ins[1], idx, True)
+                pc += 1
+            elif k == BR or k == BEQZ or k == BNEZ:
+                if k == BR:
+                    outcome = ins[4](regs[ins[1]][idx], regs[ins[2]][idx])
+                    target = ins[3]
+                else:
+                    values = regs[ins[1]][idx]
+                    outcome = (values == 0) if k == BEQZ else (values != 0)
+                    target = ins[2]
+                num_taken = int(np.count_nonzero(outcome))
+                if num_taken == 0:
+                    pc += 1
+                elif num_taken == n:
+                    taken[pc] = taken.get(pc, 0) + 1
+                    if target < 0:
+                        self._dissolve(lanes, path, taken, steps)
+                        self._fault_lanes(lanes, EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}"))
+                        return
+                    pc = target
+                else:
+                    # Mixed outcome: the group splits here.  The branch
+                    # itself was executed by every lane (already in `path`);
+                    # only the taken side's tc and the two futures differ.
+                    self._dissolve(lanes, path, taken, steps)
+                    taken_lanes = rows[outcome]
+                    fall_lanes = rows[~outcome]
+                    self._tc_row(pc)[taken_lanes] += 1
+                    self._settle_segments(fall_lanes)
+                    self._enqueue(pc + 1, fall_lanes)
+                    if target < 0:
+                        self._fault_lanes(taken_lanes, EmulationError(
+                            f"unknown label: {decoded.unresolved[pc]}"))
+                    else:
+                        self._settle_segments(taken_lanes)
+                        self._enqueue(target, taken_lanes)
+                    return
+            elif k == MV:
+                rd = ins[1]
+                if rd:
+                    if full:
+                        np.copyto(regs[rd], regs[ins[2]])
+                    else:
+                        regs[rd][lanes] = regs[ins[2]][lanes]
+                pc += 1
+            elif k == LI:
+                rd = ins[1]
+                if rd:
+                    if full:
+                        regs[rd].fill(ins[2])
+                    else:
+                        regs[rd][lanes] = ins[2]
+                pc += 1
+            elif k == J:
+                target = ins[1]
+                if target < 0:
+                    self._dissolve(lanes, path, taken, steps)
+                    self._fault_lanes(lanes, EmulationError(
+                        f"unknown label: {decoded.unresolved[pc]}"))
+                    return
+                pc = target
+            elif k == CALL:
+                target = ins[1]
+                if target < 0:  # faults before the link write (ref order)
+                    self._dissolve(lanes, path, taken, steps)
+                    self._fault_lanes(lanes, EmulationError(
+                        f"call to unknown function: {decoded.unresolved[pc]}"))
+                    return
+                if full:
+                    regs[1].fill(ins[2])
+                else:
+                    regs[1][lanes] = ins[2]
+                pc = target
+            elif k == JAL:
+                rd = ins[1]
+                if rd:  # link is written before the fault check
+                    if full:
+                        regs[rd].fill(ins[3])
+                    else:
+                        regs[rd][lanes] = ins[3]
+                target = ins[2]
+                if target < 0:
+                    self._dissolve(lanes, path, taken, steps)
+                    self._fault_lanes(lanes, EmulationError(
+                        f"unknown label: {decoded.unresolved[pc]}"))
+                    return
+                pc = target
+            elif k == JALR:
+                targets = regs[ins[2]][idx] + ins[3]
+                rd = ins[1]
+                if rd:
+                    if full:
+                        regs[rd].fill(ins[4])
+                    else:
+                        regs[rd][lanes] = ins[4]
+                first = targets[0]
+                if (targets == first).all():
+                    target = int(first)
+                    if target == SENTINEL:
+                        self._dissolve(lanes, path, taken, steps)
+                        self._settle_segments(lanes)
+                        self._retire_lanes(lanes)
+                        return
+                    pc = target  # range-checked at the top of the loop
+                else:
+                    self._dissolve(lanes, path, taken, steps)
+                    for target in np.unique(targets):
+                        group = rows[targets == target]
+                        self._settle_segments(group)
+                        target = int(target)
+                        if target == SENTINEL:
+                            self._retire_lanes(group)
+                        else:
+                            self._enqueue(target, group)
+                    return
+            elif k == ECALL:
+                results, ok, errors = self._ecall_group(rows, idx)
+                if errors is None:
+                    regs[10][idx] = results
+                    pc += 1
+                else:
+                    self._dissolve(lanes, path, taken, steps)
+                    for lane, error in errors:
+                        self._fault_lanes(
+                            np.array([lane], dtype=np.int64), error)
+                    survivors = rows[ok]
+                    if survivors.size:
+                        regs[10][survivors] = results[ok]
+                        self._settle_segments(survivors)
+                        self._enqueue(pc + 1, survivors)
+                    return
+            elif k == NOP:
+                pc += 1
+            elif k == BAD:
+                if not ins[3]:  # the reference never counted this opcode
+                    path[pc] -= 1
+                    steps -= 1
+                self._dissolve(lanes, path, taken, steps)
+                self._fault_lanes(lanes, EmulationError(ins[2]) if ins[1]
+                                  else ValueError(ins[2]))
+                return
+            else:  # pragma: no cover - decoder emits only known kinds
+                raise EmulationError(f"unknown handler id: {k}")
+
+            seg_rel -= 1
+            if seg_rel == 0:
+                # The earliest lane's segment countdown just hit zero: flush
+                # exactly the lanes that are due and push their next deadline
+                # one segment out (relative values stay anchored to group
+                # entry until _dissolve writes them back).
+                current = seg_left[lanes] - steps
+                due = lanes[current == 0]
+                self._flush_lanes(due)
+                seg_left[due] += seg_size
+                seg_rel = int((seg_left[lanes] - steps).min())
+
+    # -- group bookkeeping ----------------------------------------------------
+    def _dissolve(self, lanes, path: dict, taken: dict, steps: int) -> None:
+        """Write a dissolving group's shared counters back per lane."""
+        if not steps:
+            return
+        self._executed[lanes] += steps
+        self._limit_left[lanes] -= steps
+        self._seg_left[lanes] -= steps
+        ec = self._ec
+        for pc, count in path.items():
+            ec[pc][lanes] += count
+        for pc, count in taken.items():
+            self._tc_row(pc)[lanes] += count
+
+    def _settle_segments(self, lanes) -> None:
+        """Flush lanes whose countdown expired on a group's final instruction.
+
+        The straight-line loop flushes due lanes after every *completed*
+        instruction; when a group dissolves on the instruction that emptied a
+        countdown (a split branch, a divergent jalr, the final ret), that
+        flush is still owed.  Faulting lanes are never settled — the scalar
+        machine's faulting instruction doesn't reach its countdown either.
+        """
+        if not lanes.size:
+            return
+        due = lanes[self._seg_left[lanes] == 0]
+        if due.size:
+            self._flush_lanes(due)
+            self._seg_left[due] = self.segment_size
+
+    def _flush_lanes(self, lanes) -> None:
+        """Per-segment paging flush for the given lanes (cf. _flush_segment)."""
+        if not lanes.size:
+            return
+        page_in = self._page_in
+        page_out = self._page_out
+        for _, seg_read, seg_written, ever_read, ever_written \
+                in self._pstats.values():
+            read = seg_read[lanes]
+            written = seg_written[lanes]
+            touched = read | written
+            if not touched.any():
+                continue
+            page_in[lanes] += touched
+            page_out[lanes] += written
+            ever_read[lanes] |= read
+            ever_written[lanes] |= written
+            seg_read[lanes] = False
+            seg_written[lanes] = False
+
+    def _enqueue(self, pc: int, lanes) -> None:
+        if not lanes.size:
+            return
+        existing = self._buckets.get(pc)
+        self._buckets[pc] = (lanes if existing is None
+                             else np.concatenate((existing, lanes)))
+
+    # -- memory (multi-page slow path) ----------------------------------------
+    def _access_multi(self, rows, addresses, pages, reg, idx, is_store) -> None:
+        """Load/store for a group whose lanes hit different pages."""
+        columns = (addresses >> 2) & (_WORDS_PER_PAGE - 1)
+        if is_store:
+            values = self._regs[reg][idx]
+        else:
+            values = np.zeros(len(addresses), np.uint32)
+        for page_num in np.unique(pages):
+            mask = pages == page_num
+            group = rows[mask]
+            page_num = int(page_num)
+            stats = self._page_stats(page_num)
+            stats[0][group] += 1
+            page = self._page(page_num)
+            if is_store:
+                stats[2][group] = True
+                page[group, columns[mask]] = values[mask]
+            else:
+                stats[1][group] = True
+                values[mask] = page[group, columns[mask]]
+        if not is_store and reg:
+            self._regs[reg][idx] = values
+
+    # -- host calls ------------------------------------------------------------
+    def _ecall_group(self, rows, idx):
+        """Per-lane host-call dispatch (scalar: host calls are rare and
+        side-effectful).  Returns (results, ok mask, None) on full success,
+        or (results, ok mask, [(lane, error), ...]) when some lanes faulted."""
+        regs = self._regs
+        ids = regs[17][idx]                                  # a7
+        a0 = regs[10][idx]
+        a1 = regs[11][idx]
+        a2 = regs[12][idx]
+        a3 = regs[13][idx]
+        count = len(ids)
+        results = np.zeros(count, np.uint32)
+        ok = np.ones(count, bool)
+        errors = []
+        for i in range(count):
+            lane = int(rows[i])
+            call_id = int(ids[i])
+            name = HOST_CALL_NAMES.get(call_id)
+            if name is None:
+                ok[i] = False
+                errors.append((lane, EmulationError(
+                    f"unknown ecall id: {call_id}")))
+                continue
+            host_calls = self._host_calls[lane]
+            host_calls[name] = host_calls.get(name, 0) + 1
+            arity = HOST_CALL_ARITY.get(name, 1)
+            arguments = [int(a0[i]), int(a1[i]), int(a2[i]), int(a3[i])][:arity]
+            try:
+                results[i] = interpret_host_call(
+                    name, arguments, _LaneHost(self, lane)) & WORD_MASK
+            except Exception as exc:
+                ok[i] = False
+                errors.append((lane, exc))
+        return results, ok, (errors if errors else None)
+
+    # -- retirement -------------------------------------------------------------
+    def _retire_lanes(self, lanes) -> None:
+        """Fold and finalize normally-halted lanes (mirrors Machine.run)."""
+        regs = self._regs
+        for lane in lanes.tolist():
+            stats = self._fold_lane(lane)
+            stats.return_value = to_signed(int(regs[10, lane]))
+            stats.output = list(self._outputs[lane])
+            self._stats[lane] = stats
+        # The final flush counts the open partial segment's paging events,
+        # exactly like the scalar machine's halt-time _flush_segment.
+        self._flush_lanes(lanes)
+
+    def _fault_lanes(self, lanes, error: BaseException) -> None:
+        """Record a fault: partial folded stats, no final segment flush."""
+        for lane in lanes.tolist():
+            self._errors[lane] = error
+            self._stats[lane] = self._fold_lane(lane)
+
+    def _fold_lane(self, lane: int) -> TraceStats:
+        """One lane's column counters folded into a TraceStats (cf. _fold_stats)."""
+        decoded = self.decoded
+        code = decoded.code
+        opcodes = decoded.opcodes
+        classes = decoded.classes
+        column = self._ec[:, lane]
+        stats = TraceStats()
+        opcode_counts: dict = {}
+        class_counts: dict = {}
+        instructions = loads = stores = calls = 0
+        taken = not_taken = 0
+        for pc in np.nonzero(column)[0].tolist():
+            count = int(column[pc])
+            instructions += count
+            opcode = opcodes[pc]
+            opcode_counts[opcode] = opcode_counts.get(opcode, 0) + count
+            cls = classes[pc]
+            class_counts[cls] = class_counts.get(cls, 0) + count
+            k = code[pc][0]
+            if k == K_LW:
+                loads += count
+            elif k == K_SW:
+                stores += count
+            elif k == K_CALL:
+                calls += count
+            elif k == K_J:
+                taken += count
+            elif k in CONDITIONAL_KINDS:
+                row = self._tc.get(pc)
+                branch_taken = int(row[lane]) if row is not None else 0
+                taken += branch_taken
+                not_taken += count - branch_taken
+        stats.instructions = instructions
+        stats.opcode_counts = opcode_counts
+        stats.class_counts = class_counts
+        stats.loads = loads
+        stats.stores = stores
+        stats.calls = calls
+        stats.branches_taken = taken
+        stats.branches_not_taken = not_taken
+        stats.host_calls = self._host_calls[lane]
+        pages_read = set()
+        pages_written = set()
+        access_counts: dict = {}
+        for page_num, (counts, seg_read, seg_written, ever_read,
+                       ever_written) in self._pstats.items():
+            # Pages in the still-open segment belong to the whole-run sets
+            # too, as in the scalar fold.
+            if ever_read[lane] or seg_read[lane]:
+                pages_read.add(page_num)
+            if ever_written[lane] or seg_written[lane]:
+                pages_written.add(page_num)
+            count = int(counts[lane])
+            if count:
+                access_counts[page_num] = count
+        stats.pages_read = pages_read
+        stats.pages_written = pages_written
+        stats.page_access_counts = access_counts
+        return stats
+
+    # -- introspection -----------------------------------------------------------
+    def lane_memory_words(self, lane: int) -> dict:
+        """One lane's memory as a word-address dict of its nonzero words."""
+        words: dict = {}
+        for page_num, page in self._pages.items():
+            row = page[lane]
+            base = page_num << _PAGE_SHIFT
+            for slot in np.nonzero(row)[0].tolist():
+                words[base + (slot << 2)] = int(row[slot])
+        return words
+
+    def lane_memory_matches(self, lane: int, memory: dict) -> bool:
+        """True iff a lane's memory is value-equivalent to a scalar machine's.
+
+        The scalar machine's dict may hold explicit zeros (and its
+        ``globals_init`` keys verbatim) while the batched page table only
+        distinguishes nonzero words, so equality is checked as value
+        functions: every word readable from one side reads the same from the
+        other, with absent words reading 0.
+        """
+        mine = self.lane_memory_words(lane)
+        for address, value in memory.items():
+            if mine.pop(address, 0) != (value & WORD_MASK):
+                return False
+        return not mine  # leftovers are nonzero words the scalar side lacks
+
+
+def run_batched(program: AssemblyProgram, entry: str = "main",
+                lane_args: Optional[Sequence[Optional[Sequence[int]]]] = None,
+                num_lanes: Optional[int] = None,
+                args: Optional[Sequence[int]] = None,
+                max_instructions: int = 50_000_000,
+                segment_size: int = 1 << 16,
+                input_values: Optional[Sequence[int]] = None,
+                lane_inputs: Optional[Sequence[Optional[Sequence[int]]]] = None,
+                ) -> List[TraceStats]:
+    """Convenience wrapper: run ``program`` across N lanes, one stats per lane.
+
+    The lane count is taken from ``num_lanes``, or inferred from the length
+    of ``lane_args`` / ``lane_inputs``.
+    """
+    if num_lanes is None:
+        if lane_args is not None:
+            num_lanes = len(lane_args)
+        elif lane_inputs is not None:
+            num_lanes = len(lane_inputs)
+        else:
+            raise ValueError("num_lanes is required without lane_args/lane_inputs")
+    machine = BatchedMachine(program, num_lanes,
+                             max_instructions=max_instructions,
+                             segment_size=segment_size,
+                             input_values=input_values, lane_inputs=lane_inputs)
+    return machine.run(entry, args=args, lane_args=lane_args)

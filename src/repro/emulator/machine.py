@@ -82,8 +82,18 @@ class Machine:
         self.observers = list(observers)
         self.segment_size = segment_size
         self.input_values = input_values
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """(Re)initialise everything one ``run()`` mutates.
+
+        Called from ``__init__`` and again at the top of :meth:`run`, so a
+        second ``run()`` on the same instance starts from exactly the state a
+        fresh machine would: no leftover memory writes, per-pc counters,
+        segment page sets or segment-countdown phase from the previous run.
+        """
         self.registers: List[int] = [0] * self.decoded.num_slots
-        self.memory: dict[int, int] = dict(program.globals_init)
+        self.memory: dict[int, int] = dict(self.program.globals_init)
         self.stats = TraceStats()
         self.output: list[int] = []
         # Per-segment paging bookkeeping.
@@ -98,6 +108,7 @@ class Machine:
         self._taken_counts: List[int] = [0] * size
         self._executed = 0
         self._extra_registers: dict[str, int] = {}
+        self._ran = False
 
     # -- memory interface shared with the host-call implementations ----------
     def _read_word(self, address: int) -> int:
@@ -129,6 +140,11 @@ class Machine:
         decoded = self.decoded
         if entry not in decoded.entries:
             raise EmulationError(f"no such function: {entry}")
+        if self._ran:
+            # Re-running one instance must behave like a fresh machine: no
+            # carried-over memory, counters, segment page sets or countdown.
+            self._reset_run_state()
+        self._ran = True
         regs = self.registers
         for index, value in enumerate((args or [])[:8]):
             regs[10 + index] = value & WORD_MASK            # a0..a7
@@ -494,8 +510,8 @@ class Machine:
         """Fold the flat per-instruction counters into the TraceStats dicts.
 
         Runs once at halt (or fault) instead of updating two dicts and a
-        handful of scalars on every executed instruction.  Counter arrays are
-        cumulative across runs, so re-folding is idempotent.
+        handful of scalars on every executed instruction.  The fold rebuilds
+        the dicts from the counter arrays, so re-folding is idempotent.
         """
         decoded = self.decoded
         code = decoded.code

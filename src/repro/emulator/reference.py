@@ -71,9 +71,19 @@ class ReferenceMachine:
         self.observers = list(observers)
         self.segment_size = segment_size
         self.input_values = input_values
+        self._ran = False
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """(Re-)initialise all per-run mutable state.
+
+        Called from ``__init__`` and again from ``run()`` when the machine is
+        reused, so a second ``run()`` behaves exactly like a fresh machine
+        instead of accumulating statistics, memory and segment countdowns.
+        """
         self.registers: dict[str, int] = {name: 0 for name in
                                           ("zero", "ra", "sp", "gp", "tp")}
-        self.memory: dict[int, int] = dict(program.globals_init)
+        self.memory: dict[int, int] = dict(self.program.globals_init)
         self.stats = TraceStats()
         self.output: list[int] = []
         # Per-segment paging bookkeeping.
@@ -103,6 +113,9 @@ class ReferenceMachine:
     def run(self, entry: str = "main", args: Optional[list[int]] = None) -> TraceStats:
         if entry not in self.flat.entries:
             raise EmulationError(f"no such function: {entry}")
+        if self._ran:
+            self._reset_run_state()
+        self._ran = True
         args = args or []
         for index, value in enumerate(args[:8]):
             self.set(f"a{index}", value)

@@ -223,6 +223,54 @@ class BenchmarkRunner:
             self._measure_cache[key] = measurement
         return measurement
 
+    def run_batched(self, benchmark_name: str, profile: Profile,
+                    num_lanes: Optional[int] = None,
+                    lane_args: Optional[list] = None,
+                    lane_inputs: Optional[list] = None,
+                    check_output: bool = True) -> list[TraceStats]:
+        """Replay one compiled benchmark across N lockstep emulator lanes.
+
+        This is the batch execution path for consumers that replay the *same
+        program* many times — autotuner generations re-measuring one
+        candidate's benchmark set, fuzz shards replaying a corpus, input
+        sweeps.  ``lane_args`` / ``lane_inputs`` give each lane its own
+        argument vector / input stream (the lane count is inferred from
+        either); with neither, ``num_lanes`` identical replays of the
+        registered benchmark run.  Returns one TraceStats per lane, each
+        identical to what a single-stream :meth:`measure` emulation of that
+        lane would record.  The engine subclass inherits this unchanged:
+        batched lanes share one process and one decoded program by design.
+        """
+        from ..benchmarks import get_benchmark
+        from ..emulator import BatchedMachine
+
+        benchmark = get_benchmark(benchmark_name)
+        program = self.compile(benchmark_name, profile)
+        if num_lanes is None:
+            if lane_args is not None:
+                num_lanes = len(lane_args)
+            elif lane_inputs is not None:
+                num_lanes = len(lane_inputs)
+            else:
+                raise ValueError(
+                    "num_lanes is required without lane_args/lane_inputs")
+        machine = BatchedMachine(
+            program, num_lanes, max_instructions=self.max_instructions,
+            input_values=benchmark.inputs if lane_inputs is None else None,
+            lane_inputs=lane_inputs)
+        stats = machine.run(
+            "main", args=benchmark.args if lane_args is None else None,
+            lane_args=lane_args)
+        if check_output and lane_args is None and lane_inputs is None and \
+                benchmark.expected_output is not None:
+            for lane, trace in enumerate(stats):
+                if trace.output != benchmark.expected_output:
+                    raise AssertionError(
+                        f"{benchmark_name} under {profile.name}: lane {lane} "
+                        f"output {trace.output} does not match expected "
+                        f"{benchmark.expected_output}")
+        return stats
+
     def measure_pairs(self, pairs: list[tuple[str, Profile]],
                       use_cache: bool = True,
                       on_error: str = "raise") -> list[Optional[Measurement]]:

@@ -1,0 +1,283 @@
+"""Batched lockstep emulator tests: per-lane parity with the scalar Machine.
+
+Every property the batched engine claims is checked differentially: each
+lane's TraceStats, paging events and final memory must be byte-for-byte what
+a fresh single-stream :class:`~repro.emulator.machine.Machine` produces for
+that lane's arguments/inputs — across divergence-heavy lane mixes (including
+``branchy-int`` fuzz-mode programs), lanes halting at very different step
+counts, awkward lane counts, segment sizes that force mid-run flushes, the
+checked-in fuzz corpus, and lanes that fault mid-run.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.backend import compile_module
+from repro.benchmarks import get_benchmark
+from repro.emulator import (
+    BatchedMachine, EmulationError, Machine, numpy_available, run_batched,
+)
+from repro.frontend import compile_source
+from repro.fuzz import load_corpus
+from repro.fuzz.genprog import generate_program
+
+pytestmark = pytest.mark.skipif(not numpy_available(),
+                                reason="numpy not installed")
+
+
+def _compile(source: str):
+    return compile_module(compile_source(source))
+
+
+def _compile_benchmark(name: str):
+    benchmark = get_benchmark(name)
+    return compile_module(compile_source(benchmark.source, module_name=name))
+
+
+def _scalar_run(program, args=None, **kwargs):
+    machine = Machine(program, **kwargs)
+    machine.run("main", list(args) if args else None)
+    return machine
+
+
+def _assert_lane_matches_scalar(batched, lane, scalar, context=""):
+    where = f"lane {lane} {context}"
+    assert batched.lane_stats[lane] == scalar.stats, where
+    assert batched.lane_page_in_events[lane] == scalar.page_in_events, where
+    assert batched.lane_page_out_events[lane] == scalar.page_out_events, where
+    assert batched.lane_memory_matches(lane, scalar.memory), where
+
+
+#: Heavily divergent control flow: per-lane Collatz walks plus a three-way
+#: modulo dispatch, so neighbouring arguments take wildly different paths and
+#: the scheduler's group split/merge machinery is exercised constantly.
+BRANCHY_SOURCE = """
+fn collatz(n) -> int {
+  var steps;
+  steps = 0;
+  while (n > 1 && steps < 200) {
+    if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+    steps = steps + 1;
+  }
+  return steps;
+}
+fn main(n) -> int {
+  var acc;
+  var i;
+  acc = 0;
+  for (i = 0; i <= n; i = i + 1) {
+    if (i % 3 == 0) {
+      acc = acc + collatz(i + n);
+    } else {
+      if (i % 3 == 1) { acc = acc ^ (i * 2654435761); }
+      else { acc = acc - i; }
+    }
+  }
+  print(acc);
+  return acc;
+}
+"""
+
+#: Runtime directly proportional to the argument: lanes retire at wildly
+#: different step counts, so the live-lane set shrinks one lane at a time.
+STAGGERED_SOURCE = """
+fn main(n) -> int {
+  var acc;
+  var i;
+  acc = 0;
+  for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+  return acc;
+}
+"""
+
+#: Per-lane host-call inputs: every lane folds its own input words.
+INPUTS_SOURCE = """
+fn main() -> int {
+  var acc;
+  var i;
+  acc = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    acc = acc * 31 + read_input(i);
+    print(acc);
+  }
+  return acc;
+}
+"""
+
+
+class TestLaneMixes:
+    @pytest.mark.parametrize("num_lanes", [1, 2, 33, 64])
+    def test_divergent_branchy_lanes(self, num_lanes):
+        program = _compile(BRANCHY_SOURCE)
+        lane_args = [[(lane * 7 + 3) % 40] for lane in range(num_lanes)]
+        batched = BatchedMachine(program, num_lanes)
+        batched.run(lane_args=lane_args)
+        for lane, args in enumerate(lane_args):
+            scalar = _scalar_run(program, args)
+            _assert_lane_matches_scalar(batched, lane, scalar,
+                                        f"(args={args})")
+
+    def test_lanes_halting_at_different_steps(self):
+        program = _compile(STAGGERED_SOURCE)
+        lane_args = [[0], [1], [10], [100], [1000], [10000], [3], [9999]]
+        batched = BatchedMachine(program, len(lane_args))
+        stats = batched.run(lane_args=lane_args)
+        counts = [s.instructions for s in stats]
+        assert len(set(counts)) == len(counts), \
+            "every lane should halt at a distinct step"
+        for lane, args in enumerate(lane_args):
+            _assert_lane_matches_scalar(batched, lane,
+                                        _scalar_run(program, args))
+
+    def test_uniform_lanes_match_single_stream(self):
+        program = _compile(BRANCHY_SOURCE)
+        scalar = _scalar_run(program, [25])
+        stats = run_batched(program, num_lanes=5, args=[25])
+        for lane_stats in stats:
+            assert lane_stats == scalar.stats
+
+    def test_per_lane_host_call_inputs(self):
+        program = _compile(INPUTS_SOURCE)
+        lane_inputs = [[1, 2, 3, 4], [5, 5, 5, 5], [0, 0, 0, 7],
+                       [123456789, 1, 2, 3]]
+        batched = BatchedMachine(program, len(lane_inputs),
+                                 lane_inputs=lane_inputs)
+        batched.run()
+        for lane, inputs in enumerate(lane_inputs):
+            scalar = _scalar_run(program, input_values=inputs)
+            _assert_lane_matches_scalar(batched, lane, scalar,
+                                        f"(inputs={inputs})")
+
+
+class TestBranchyIntFuzzMode:
+    """Generated ``branchy-int`` programs through the batched engine."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_program_parity(self, seed):
+        generated = generate_program(seed, mode="branchy-int")
+        program = _compile(generated.source)
+        scalar = _scalar_run(program)
+        batched = BatchedMachine(program, 4)
+        batched.run()
+        for lane in range(4):
+            _assert_lane_matches_scalar(batched, lane, scalar,
+                                        f"(seed={seed})")
+
+
+class TestFuzzCorpusReplay:
+    CORPUS = load_corpus(Path(__file__).parent / "corpus")
+
+    @pytest.mark.parametrize(
+        "path,header,source", CORPUS,
+        ids=[Path(entry[0]).stem for entry in CORPUS])
+    def test_corpus_entry_parity(self, path, header, source):
+        program = _compile(source)
+        scalar = _scalar_run(program)
+        batched = BatchedMachine(program, 3)
+        batched.run()
+        for lane in range(3):
+            _assert_lane_matches_scalar(batched, lane, scalar,
+                                        f"({Path(path).name})")
+
+
+class TestSegmentsAndPaging:
+    @pytest.mark.parametrize("segment_size", [1, 7, 100, 1 << 16])
+    def test_divergent_lanes_page_identically(self, segment_size):
+        program = _compile(BRANCHY_SOURCE)
+        lane_args = [[2], [17], [33], [8], [0]]
+        batched = BatchedMachine(program, len(lane_args),
+                                 segment_size=segment_size)
+        batched.run(lane_args=lane_args)
+        for lane, args in enumerate(lane_args):
+            scalar = _scalar_run(program, args, segment_size=segment_size)
+            _assert_lane_matches_scalar(
+                batched, lane, scalar, f"(segment_size={segment_size})")
+
+
+class TestFaults:
+    def test_partial_fault_leaves_other_lanes_intact(self):
+        # Lanes 1 and 3 blow the instruction limit; the rest must retire with
+        # exactly the trace a scalar run produces, and the faulting lanes must
+        # leave exactly the partial trace the scalar machine leaves.
+        program = _compile(STAGGERED_SOURCE)
+        lane_args = [[5], [100000], [8], [100000], [0]]
+        limit = 200
+        batched = BatchedMachine(program, len(lane_args),
+                                 max_instructions=limit, capture_faults=True)
+        batched.run(lane_args=lane_args)
+        for lane, args in enumerate(lane_args):
+            scalar = Machine(program, max_instructions=limit)
+            error = None
+            try:
+                scalar.run("main", list(args))
+            except EmulationError as exc:
+                error = exc
+            if error is None:
+                assert batched.lane_errors[lane] is None, f"lane {lane}"
+                _assert_lane_matches_scalar(batched, lane, scalar)
+            else:
+                assert isinstance(batched.lane_errors[lane], EmulationError)
+                assert str(batched.lane_errors[lane]) == str(error)
+                assert batched.lane_stats[lane] == scalar.stats, f"lane {lane}"
+
+    def test_first_fault_reraised_without_capture(self):
+        program = _compile(STAGGERED_SOURCE)
+        batched = BatchedMachine(program, 2, max_instructions=50)
+        with pytest.raises(EmulationError):
+            batched.run(lane_args=[[1], [100000]])
+
+    def test_missing_entry_raises(self):
+        program = _compile(STAGGERED_SOURCE)
+        with pytest.raises(EmulationError):
+            BatchedMachine(program, 2).run("nonexistent")
+
+
+class TestReuseAndApi:
+    def test_rerun_equals_fresh_machine(self):
+        program = _compile(BRANCHY_SOURCE)
+        lane_args = [[5], [12], [31]]
+        reused = BatchedMachine(program, 3)
+        first = reused.run(lane_args=lane_args)
+        first_pages = (list(reused.lane_page_in_events),
+                       list(reused.lane_page_out_events))
+        second = reused.run(lane_args=lane_args)
+        assert first == second, "second run() accumulated state"
+        assert (reused.lane_page_in_events,
+                reused.lane_page_out_events) == first_pages
+        fresh = BatchedMachine(program, 3)
+        assert fresh.run(lane_args=lane_args) == first
+
+    def test_run_batched_infers_lane_count(self):
+        program = _compile(STAGGERED_SOURCE)
+        stats = run_batched(program, lane_args=[[3], [6]])
+        assert len(stats) == 2
+        assert stats[0] != stats[1]
+
+    def test_lane_count_validation(self):
+        program = _compile(STAGGERED_SOURCE)
+        with pytest.raises(ValueError):
+            BatchedMachine(program, 0)
+        with pytest.raises(ValueError):
+            BatchedMachine(program, 2, lane_inputs=[[1]])
+        with pytest.raises(ValueError):
+            BatchedMachine(program, 2).run(lane_args=[[1]])
+
+
+class TestBenchmarkParity:
+    #: A spread of benchmark shapes: memory-heavy, hash loops, host-call
+    #: dominated, and plain compute.  (The full 58-benchmark sweep runs in
+    #: the bench harness; this keeps tier-1 fast.)
+    NAMES = ["fibonacci", "loop-sum", "bigmem", "merkle", "ecdsa-verify",
+             "sha2-bench", "regex-match", "tailcall"]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_three_lanes_match_single_stream(self, name):
+        benchmark = get_benchmark(name)
+        program = _compile_benchmark(name)
+        scalar = Machine(program, input_values=benchmark.inputs)
+        scalar.run("main", benchmark.args)
+        batched = BatchedMachine(program, 3, input_values=benchmark.inputs)
+        batched.run("main", args=benchmark.args)
+        for lane in range(3):
+            _assert_lane_matches_scalar(batched, lane, scalar, f"({name})")

@@ -273,6 +273,42 @@ class TestSegmentPaging:
         _assert_machines_identical(fast, ref, f"segment_size={segment_size}")
         assert fast.page_in_events > 0
 
+    def test_segment_sizes_straddling_the_run_length(self):
+        """Sweep segment sizes pinned to the exact dynamic run length.
+
+        segment_size == run_length means the run's only segment boundary
+        lands exactly on the final instruction (no partial trailing segment);
+        run_length +/- 1 puts the boundary one instruction to either side.
+        All three — plus the degenerate size-1 and a tiny odd size — must
+        page identically to the seed interpreter.
+        """
+        program = compile_module(compile_source(self.SOURCE))
+        run_length = Machine(program).run().instructions
+        for segment_size in (1, 7, run_length - 1, run_length,
+                             run_length + 1):
+            fast = Machine(program, segment_size=segment_size)
+            ref = ReferenceMachine(program, segment_size=segment_size)
+            fast.run()
+            ref.run()
+            _assert_machines_identical(
+                fast, ref,
+                f"segment_size={segment_size} (run_length={run_length})")
+
+    def test_exact_multiple_has_no_partial_trailing_segment(self):
+        """When the run length divides evenly, both machines must count the
+        same number of segment flushes — no spurious trailing flush."""
+        program = compile_module(compile_source(self.SOURCE))
+        run_length = Machine(program).run().instructions
+        for divisor in (1, 2, 4):
+            if run_length % divisor:
+                continue
+            size = run_length // divisor
+            fast = Machine(program, segment_size=size)
+            ref = ReferenceMachine(program, segment_size=size)
+            fast.run()
+            ref.run()
+            _assert_machines_identical(fast, ref, f"segment_size={size}")
+
     def test_instruction_limit_parity(self):
         source = "fn main() -> int { while (1) { } return 0; }"
         program = compile_module(compile_source(source))
@@ -284,6 +320,64 @@ class TestSegmentPaging:
             ref.run()
         assert fast.stats.instructions == ref.stats.instructions == 1000
         assert fast.stats.opcode_counts == ref.stats.opcode_counts
+
+
+class TestMachineReuse:
+    """Re-running a Machine must behave exactly like a fresh Machine.
+
+    Regression tests for the re-run state leak: ``run()`` used to accumulate
+    statistics, memory, the segment countdown and page-event sets across
+    calls, so a second ``run()`` reported double instruction counts and
+    carried dirty pages into the new run's first segment.
+    """
+
+    @pytest.mark.parametrize("machine_cls", [Machine, ReferenceMachine],
+                             ids=["fast", "reference"])
+    def test_two_runs_equal_two_fresh_machines(self, machine_cls):
+        benchmark = get_benchmark("fibonacci")
+        program = _compile_benchmark("fibonacci")
+        kwargs = dict(input_values=benchmark.inputs, segment_size=100)
+
+        reused = machine_cls(program, **kwargs)
+        first = reused.run("main", benchmark.args)
+        first_pages = (reused.page_in_events, reused.page_out_events)
+        second = reused.run("main", benchmark.args)
+
+        fresh_a = machine_cls(program, **kwargs)
+        fresh_b = machine_cls(program, **kwargs)
+        fresh_first = fresh_a.run("main", benchmark.args)
+        fresh_second = fresh_b.run("main", benchmark.args)
+
+        assert first == fresh_first
+        assert second == fresh_second
+        assert first == second, "second run() accumulated state"
+        assert first_pages == (fresh_a.page_in_events,
+                               fresh_a.page_out_events)
+        assert (reused.page_in_events, reused.page_out_events) == \
+            (fresh_b.page_in_events, fresh_b.page_out_events)
+        assert reused.memory == fresh_b.memory
+        assert reused.output == fresh_b.output
+
+    def test_rerun_resets_segment_countdown(self):
+        # An odd segment size whose countdown is mid-segment at halt: the
+        # leftover countdown must not leak into the next run's first segment.
+        program = compile_module(compile_source(TestSegmentPaging.SOURCE))
+        reused = Machine(program, segment_size=999)
+        first = reused.run()
+        first_events = (reused.page_in_events, reused.page_out_events)
+        second = reused.run()
+        assert first == second
+        assert (reused.page_in_events, reused.page_out_events) == first_events
+
+    def test_rerun_after_fault_starts_clean(self):
+        source = "fn main() -> int { while (1) { } return 0; }"
+        program = compile_module(compile_source(source))
+        machine = Machine(program, max_instructions=500)
+        with pytest.raises(EmulationError):
+            machine.run()
+        with pytest.raises(EmulationError):
+            machine.run()
+        assert machine.stats.instructions == 500
 
 
 class TestUnresolvedTargets:
