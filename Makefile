@@ -10,6 +10,12 @@
 #                        adds the batched lockstep emulator pass (256 lanes)
 #                        and enforces its aggregate speedup bar (5x warm
 #                        single-stream in CI; locally lands 20x+)
+#   make bench-emulator-translated
+#                        adds the superblock-translated pass and enforces its
+#                        aggregate speedup bar (4x warm single-stream) at
+#                        byte-for-byte TraceStats/memory parity
+#   make coverage        tier-1 suite under pytest-cov with a line-rate floor
+#                        (skips gracefully when pytest-cov is not installed)
 #   make bench-passes    cached vs seed pass-pipeline compile time; writes
 #                        BENCH_passes.json (1.5x bar enforced)
 #   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
@@ -26,8 +32,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-engine chaos figures-smoke bench-engine bench-emulator \
-	bench-emulator-batched bench-passes bench-backend fuzz-smoke \
-	docs-check bench clean-cache
+	bench-emulator-batched bench-emulator-translated bench-passes \
+	bench-backend fuzz-smoke docs-check coverage bench clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -65,6 +71,15 @@ bench-emulator-batched:
 	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json \
 		--batched --lanes $(BENCH_BATCHED_LANES) \
 		--min-batched-speedup $(BENCH_BATCHED_BAR)
+
+# Adds the superblock-translated pass: every benchmark must replay with
+# byte-for-byte identical TraceStats, paging events and final memory, and the
+# translated aggregate must beat the warm single-stream aggregate by the bar
+# (override: make bench-emulator-translated BENCH_TRANSLATED_BAR=3).
+BENCH_TRANSLATED_BAR ?= 4.0
+bench-emulator-translated:
+	$(PYTHON) benchmarks/bench_emulator.py --json BENCH_emulator.json \
+		--translated --min-translated-speedup $(BENCH_TRANSLATED_BAR)
 
 # Fails if the invalidation-aware pipeline drops below 1.5x the preserved
 # seed pass manager (override: make bench-passes BENCH_PASSES_BAR=1.2).
@@ -110,6 +125,20 @@ docs-check:
 	$(PYTHON) -m repro --no-disk-cache lower fibonacci --stats
 	$(PYTHON) -m repro passes
 	$(PYTHON) -m repro list benchmarks
+
+# Tier-1 suite under pytest-cov with a line-rate floor over src/repro.  The
+# floor is a conservative lower bound on the measured rate (CI enforces it;
+# override: make coverage COV_FLOOR=70).  Skips gracefully where pytest-cov
+# is not installed so the target never blocks a toolchain without it.
+COV_FLOOR ?= 75
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro \
+			--cov-report=term --cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "pytest-cov is not installed; skipping coverage" \
+			"(pip install pytest-cov to enable)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q

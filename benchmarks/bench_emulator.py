@@ -10,7 +10,11 @@ reports Minstr/s per benchmark plus the aggregate:
 * ``fast warm`` — a second replay of the same program, decoded stream cached;
 * ``batched`` (``--batched``) — N lockstep lanes through the NumPy
   :class:`~repro.emulator.batched.BatchedMachine`, reported as *aggregate*
-  Minstr/s (all lanes' instructions over one wall clock).
+  Minstr/s (all lanes' instructions over one wall clock);
+* ``translated`` (``--translated``) — single-stream replay through the
+  superblock-translating :class:`~repro.emulator.translate.TranslatedMachine`,
+  with byte-for-byte parity (TraceStats, page events, final memory) asserted
+  against the warm ``Machine`` replay of every benchmark.
 
 Every timing repeats its workload until a minimum wall-clock duration
 (default 0.2s) and reports the per-replay average, so 114-instruction
@@ -18,10 +22,12 @@ benchmarks (``ecdsa-verify``, ``eddsa-verify``) no longer produce
 single-timer-tick noise instead of throughput.
 
 The acceptance bars: the decode-once fast path must hold an aggregate
-fast/reference speedup of at least 3x, and with ``--batched`` the batched
+fast/reference speedup of at least 3x; with ``--batched`` the batched
 aggregate must beat the single-stream warm aggregate by at least
 ``--min-batched-speedup`` (default 5x, the CI bar; the local target at 256
-lanes is 20x+).  ``make bench-emulator`` / ``make bench-emulator-batched``
+lanes is 20x+); with ``--translated`` the translated single-stream aggregate
+must beat the warm aggregate by at least ``--min-translated-speedup``
+(default 4x).  ``make bench-emulator`` / ``make bench-emulator-batched``
 write ``BENCH_emulator.json`` so the throughput trajectory is tracked across
 PRs.
 
@@ -45,6 +51,9 @@ REQUIRED_SPEEDUP = 3.0
 #: The batched aggregate must beat the warm single-stream aggregate by at
 #: least this factor (the CI bar; locally 256 lanes lands well above 20x).
 REQUIRED_BATCHED_SPEEDUP = 5.0
+#: The translated single-stream aggregate must beat the warm fast-path
+#: aggregate by at least this factor.
+REQUIRED_TRANSLATED_SPEEDUP = 4.0
 #: Default lane count for the batched pass.
 DEFAULT_LANES = 256
 #: Repeat each timed workload until it has run at least this long, then
@@ -81,15 +90,17 @@ def _timed(once, min_seconds: float):
 
 
 def run_report(benchmarks=None, echo=print, batched_lanes=None,
-               min_seconds: float = MIN_DURATION_S) -> dict:
+               translated=False, min_seconds: float = MIN_DURATION_S) -> dict:
     """Measure every benchmark on both interpreters; returns the report dict.
 
     ``batched_lanes`` adds the batched lockstep pass at that lane count (and
-    its per-lane differential check against the single-stream trace).
+    its per-lane differential check against the single-stream trace);
+    ``translated`` adds the superblock-translation pass (with full
+    byte-for-byte parity checks against the warm single-stream machine).
     """
     from repro.analysis.reporting import format_table
     from repro.benchmarks import all_benchmark_names, get_benchmark
-    from repro.emulator import Machine, ReferenceMachine
+    from repro.emulator import Machine, ReferenceMachine, TranslatedMachine
 
     if batched_lanes:
         from repro.emulator.batched import BatchedMachine, require_numpy
@@ -100,7 +111,8 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
     rows = []
     per_benchmark = {}
     totals = {"instructions": 0, "reference_s": 0.0, "cold_s": 0.0,
-              "warm_s": 0.0, "batched_instructions": 0, "batched_s": 0.0}
+              "warm_s": 0.0, "batched_instructions": 0, "batched_s": 0.0,
+              "translated_s": 0.0}
     for name in names:
         benchmark = get_benchmark(name)
         program = _compile(name)
@@ -120,10 +132,16 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
 
         cold_s, fast_stats = _timed(cold_once, min_seconds)
 
-        # Warm: same program object, decoded stream already cached.
-        warm_s, warm_stats = _timed(
-            lambda: Machine(program, input_values=benchmark.inputs).run(
-                "main", args), min_seconds)
+        # Warm: same program object, decoded stream already cached.  The
+        # machine object is kept so the translated pass can compare page
+        # events and final memory byte-for-byte.
+        def warm_once():
+            machine = Machine(program, input_values=benchmark.inputs)
+            machine.run("main", args)
+            return machine
+
+        warm_s, warm_machine = _timed(warm_once, min_seconds)
+        warm_stats = warm_machine.stats
 
         assert fast_stats == ref_stats, f"fast path diverged on {name}"
         assert warm_stats == ref_stats, f"warm fast path diverged on {name}"
@@ -158,6 +176,31 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
             totals["batched_instructions"] += batched_instructions
             totals["batched_s"] += batched_s
 
+        if translated:
+            def translated_once():
+                machine = TranslatedMachine(program,
+                                            input_values=benchmark.inputs)
+                machine.run("main", args)
+                return machine
+
+            # Warm the code cache first (mirrors the warm fast-path pass,
+            # whose decode cost was likewise paid outside the timing): the
+            # one-off superblock compilation happens here, untimed.
+            translated_once()
+            translated_s, trans_machine = _timed(translated_once, min_seconds)
+            assert trans_machine.stats == ref_stats, \
+                f"translated engine diverged on {name}"
+            assert trans_machine.page_in_events == \
+                warm_machine.page_in_events, f"page-in events on {name}"
+            assert trans_machine.page_out_events == \
+                warm_machine.page_out_events, f"page-out events on {name}"
+            assert trans_machine.memory == warm_machine.memory, \
+                f"final memory on {name}"
+            data = per_benchmark[name]
+            data["translated_minstr_s"] = instructions / translated_s / 1e6
+            data["translated_speedup"] = warm_s / translated_s
+            totals["translated_s"] += translated_s
+
     top = sorted(per_benchmark.items(),
                  key=lambda item: -item[1]["instructions"])[:12]
     for name, data in top:
@@ -169,6 +212,9 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
         if batched_lanes:
             row.append(round(data["batched_minstr_s"], 2))
             row.append(round(data["batched_speedup"], 2))
+        if translated:
+            row.append(round(data["translated_minstr_s"], 2))
+            row.append(round(data["translated_speedup"], 2))
         rows.append(row)
 
     aggregate = {
@@ -189,11 +235,19 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
         aggregate["batched_speedup"] = (aggregate["batched_minstr_s"]
                                         / aggregate["fast_warm_minstr_s"])
         aggregate["required_batched_speedup"] = REQUIRED_BATCHED_SPEEDUP
+    if translated:
+        aggregate["translated_minstr_s"] = (totals["instructions"]
+                                            / totals["translated_s"] / 1e6)
+        aggregate["translated_speedup"] = (totals["warm_s"]
+                                           / totals["translated_s"])
+        aggregate["required_translated_speedup"] = REQUIRED_TRANSLATED_SPEEDUP
 
     headers = ["benchmark", "instrs", "ref Mi/s", "cold Mi/s", "warm Mi/s",
                "speedup"]
     if batched_lanes:
         headers += [f"batch({batched_lanes}) Mi/s", "batch speedup"]
+    if translated:
+        headers += ["xlate Mi/s", "xlate speedup"]
     echo(format_table(
         headers, rows,
         title=f"Emulator throughput (top {len(rows)} of {len(names)} "
@@ -209,6 +263,10 @@ def run_report(benchmarks=None, echo=print, batched_lanes=None,
              f"aggregate over {batched_lanes} lanes | "
              f"{aggregate['batched_speedup']:.2f}x warm single-stream "
              f"(required: {REQUIRED_BATCHED_SPEEDUP:.1f}x)")
+    if translated:
+        echo(f"translated: {aggregate['translated_minstr_s']:.2f} Minstr/s "
+             f"single-stream | {aggregate['translated_speedup']:.2f}x warm "
+             f"(required: {REQUIRED_TRANSLATED_SPEEDUP:.1f}x)")
     return {"aggregate": aggregate, "per_benchmark": per_benchmark}
 
 
@@ -231,6 +289,13 @@ def test_emulator_batched_throughput():
     assert report["aggregate"]["batched_speedup"] >= REQUIRED_BATCHED_SPEEDUP
 
 
+def test_emulator_translated_throughput():
+    """Bench-harness entry: superblock translation must hold its 4x bar."""
+    report = run_report(translated=True)
+    assert report["aggregate"]["translated_speedup"] >= \
+        REQUIRED_TRANSLATED_SPEEDUP
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--json", metavar="PATH",
@@ -246,12 +311,20 @@ def main(argv=None) -> int:
                         default=REQUIRED_BATCHED_SPEEDUP,
                         help="minimum batched-vs-warm aggregate speedup "
                              f"(default: {REQUIRED_BATCHED_SPEEDUP})")
+    parser.add_argument("--translated", action="store_true",
+                        help="also measure the superblock-translating engine "
+                             "and enforce its aggregate speedup bar")
+    parser.add_argument("--min-translated-speedup", type=float,
+                        default=REQUIRED_TRANSLATED_SPEEDUP,
+                        help="minimum translated-vs-warm aggregate speedup "
+                             f"(default: {REQUIRED_TRANSLATED_SPEEDUP})")
     parser.add_argument("--min-seconds", type=float, default=MIN_DURATION_S,
                         help="minimum wall clock per timing before the "
                              f"per-replay average (default: {MIN_DURATION_S})")
     args = parser.parse_args(argv)
     report = run_report(benchmarks=args.benchmarks,
                         batched_lanes=args.lanes if args.batched else None,
+                        translated=args.translated,
                         min_seconds=args.min_seconds)
     if args.json:
         Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True))
@@ -269,6 +342,15 @@ def main(argv=None) -> int:
                   f"{report['aggregate']['batched_speedup']:.2f}x is below "
                   f"the {args.min_batched_speedup:.1f}x bar", file=sys.stderr)
         ok = ok and batched_ok
+    if args.translated:
+        translated_ok = (report["aggregate"]["translated_speedup"]
+                         >= args.min_translated_speedup)
+        if not translated_ok:
+            print(f"FAIL: translated aggregate speedup "
+                  f"{report['aggregate']['translated_speedup']:.2f}x is "
+                  f"below the {args.min_translated_speedup:.1f}x bar",
+                  file=sys.stderr)
+        ok = ok and translated_ok
     return 0 if ok else 1
 
 

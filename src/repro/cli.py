@@ -113,7 +113,7 @@ class UsageError(Exception):
 
 
 # -- engine / profile plumbing ------------------------------------------------
-def _make_engine(args):
+def _make_engine(args, translate: bool = False):
     from .experiments.engine import ExperimentEngine
     from .experiments.faults import RetryPolicy
 
@@ -124,6 +124,7 @@ def _make_engine(args):
         use_disk_cache=not args.no_disk_cache,
         analysis_cache=not args.no_analysis_cache,
         seed_backend=getattr(args, "seed_backend", False),
+        translate=translate,
         job_timeout=args.job_timeout,
         retry_policy=RetryPolicy(max_attempts=max(1, args.retries)),
     )
@@ -242,6 +243,34 @@ def _cmd_run(args) -> int:
     engine = _make_engine(args)
     benchmark_name = _check_benchmark(args.benchmark)
     profile = _resolve_profile(args.profile)
+    if getattr(args, "translate", False) and \
+            (getattr(args, "reference", False) or getattr(args, "batch", False)):
+        raise UsageError("--translate cannot be combined with "
+                         "--reference or --batch")
+    if getattr(args, "translate", False):
+        # Replay through the superblock-translating engine; the trace it
+        # prints is byte-for-byte what the interpreter would record.
+        import time as _time
+
+        from .benchmarks import get_benchmark
+        from .emulator import TranslatedMachine
+
+        benchmark = get_benchmark(benchmark_name)
+        program = engine.compile(benchmark_name, profile)
+        machine = TranslatedMachine(program,
+                                    max_instructions=engine.max_instructions,
+                                    input_values=benchmark.inputs)
+        start = _time.perf_counter()
+        trace = machine.run("main", benchmark.args)
+        elapsed = _time.perf_counter() - start
+        print(f"benchmark:     {benchmark_name} [translated superblocks]")
+        print(f"profile:       {profile.name}")
+        print(f"output:        {list(trace.output)}")
+        print(f"return value:  {trace.return_value}")
+        print(f"instructions:  {trace.instructions}")
+        print(f"throughput:    {trace.instructions / elapsed / 1e6:.2f} "
+              f"Minstr/s")
+        return 0
     if getattr(args, "reference", False):
         # Replay on the seed interpreter (the differential-testing oracle);
         # bypasses the measurement caches since nothing is persisted.
@@ -267,8 +296,10 @@ def _cmd_run(args) -> int:
 
         from .emulator.batched import require_numpy
 
-        require_numpy()
         lanes = args.lanes
+        if lanes < 1:
+            raise UsageError(f"--lanes must be a positive integer, got {lanes}")
+        require_numpy()
         start = _time.perf_counter()
         stats = engine.run_batched(benchmark_name, profile, num_lanes=lanes)
         elapsed = _time.perf_counter() - start
@@ -368,7 +399,9 @@ def _cmd_autotune(args) -> int:
     from .autotuner import GeneticAutotuner
     from .experiments.journal import JournalMismatch
 
-    engine = _make_engine(args)
+    # Candidate evaluation only consumes trace-derived zkVM metrics, so the
+    # measurement path runs on the translated engine by default.
+    engine = _make_engine(args, translate=not args.no_translate)
     tuner = GeneticAutotuner(runner=engine, seed=args.seed, zkvm=args.zkvm,
                              population_size=args.population)
     journal = _journal_for(
@@ -654,6 +687,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "NumPy emulator and report aggregate throughput")
     p.add_argument("--lanes", type=int, default=64, metavar="N",
                    help="lane count for --batch (default: 64)")
+    p.add_argument("--translate", action="store_true",
+                   help="replay through the superblock-translating engine "
+                        "(same trace, several times faster)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("measure", help="measure benchmark × profile pairs")
@@ -694,6 +730,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue from the journal's last generation "
                         "(restores population, history and RNG state)")
+    p.add_argument("--no-translate", action="store_true",
+                   help="measure candidates on the interpreter instead of "
+                        "the (default) superblock-translating engine")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_autotune)
 

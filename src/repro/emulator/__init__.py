@@ -6,16 +6,25 @@ Two interchangeable execution paths live here:
 * :class:`Machine` — the production emulator: decode-once
   (:func:`decode_program`) and table dispatch over pre-decoded tuples;
 * :class:`ReferenceMachine` — the original per-instruction interpreter, kept
-  as the executable specification for differential testing.
+  as the executable specification for differential testing;
+* :class:`TranslatedMachine` — the superblock-translating engine: hot
+  decoded regions compiled once into specialized Python closures, with the
+  interpreter loop as the fallback for cold/irregular code and observers.
 """
 
 from .batched import BatchedMachine, numpy_available, run_batched
 from .decoder import DecodedProgram, decode_program
 from .machine import EmulationError, Machine, run_program
 from .reference import ReferenceMachine, run_program_reference
+from .translate import (
+    TranslatedMachine, TranslationCache, run_program_translated,
+    translation_cache,
+)
 from .trace import PAGE_SIZE, TraceStats
 
 __all__ = ["BatchedMachine", "DecodedProgram", "decode_program",
-           "EmulationError", "Machine", "ReferenceMachine", "numpy_available",
+           "EmulationError", "Machine", "ReferenceMachine",
+           "TranslatedMachine", "TranslationCache", "numpy_available",
            "run_batched", "run_program", "run_program_reference",
+           "run_program_translated", "translation_cache",
            "PAGE_SIZE", "TraceStats"]

@@ -97,7 +97,8 @@ def profile_recipe(profile: "Profile") -> dict:
 
 def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
                             max_instructions: int, verify: bool = False,
-                            seed_backend: bool = False) -> str:
+                            seed_backend: bool = False,
+                            translate: bool = False) -> str:
     """Content hash identifying one measurement.
 
     Every ingredient that can change the resulting numbers is included —
@@ -108,12 +109,19 @@ def measurement_fingerprint(benchmark: "Benchmark", profile: "Profile",
     only the (small) profile recipe is serialized — so cache probes stay
     cheap on regenerator hot paths.
     """
-    profile_blob = json.dumps({
+    recipe = {
         **profile_recipe(profile),
         "max_instructions": max_instructions,
         "verify": verify,
         "backend": "seed" if seed_backend else "opt",
-    }, sort_keys=True, default=repr)
+    }
+    if translate:
+        # Translated measurements carry no CPU-model metrics (the timing
+        # model needs per-instruction observer events), so they must not
+        # share cache entries with interpreter measurements.  Keyed only
+        # when set so existing cache entries stay valid.
+        recipe["engine"] = "translated"
+    profile_blob = json.dumps(recipe, sort_keys=True, default=repr)
     blob = "\x1e".join([_environment_blob(), _benchmark_blob(benchmark),
                         profile_blob])
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -36,7 +36,9 @@ class Measurement:
     trace: TraceStats
     risc0: ZkvmMetrics
     sp1: ZkvmMetrics
-    cpu: CpuMetrics
+    #: None for measurements taken through the translated engine, which has
+    #: no per-instruction observer stream to drive the CPU timing model.
+    cpu: Optional[CpuMetrics]
     static_instructions: int
 
     @property
@@ -56,7 +58,7 @@ class Measurement:
             "instructions": self.instructions,
             "risc0": self.risc0.as_dict(),
             "sp1": self.sp1.as_dict(),
-            "cpu": self.cpu.as_dict(),
+            "cpu": self.cpu.as_dict() if self.cpu is not None else None,
         }
 
 
@@ -123,7 +125,8 @@ class BenchmarkRunner:
 
     def __init__(self, max_instructions: int = 20_000_000, verify: bool = False,
                  program_cache_size: int = DEFAULT_PROGRAM_CACHE_SIZE,
-                 analysis_cache: bool = True, seed_backend: bool = False):
+                 analysis_cache: bool = True, seed_backend: bool = False,
+                 translate: bool = False):
         self.max_instructions = max_instructions
         self.verify = verify
         self.program_cache_size = program_cache_size
@@ -134,6 +137,14 @@ class BenchmarkRunner:
         #: (``--seed-backend``) instead of the optimizing one — the A/B knob
         #: behind ``make bench-backend`` and the backend differential suite.
         self.seed_backend = seed_backend
+        #: True replays guest programs through the superblock-translating
+        #: :class:`~repro.emulator.translate.TranslatedMachine` — same
+        #: TraceStats/paging byte-for-byte, several times faster — at the
+        #: cost of the CPU timing model (``Measurement.cpu`` is None): the
+        #: timing model is a per-instruction observer, and observers force
+        #: the interpreter fallback.  The autotuner only consumes
+        #: trace-derived zkVM metrics, so its measurement path uses this.
+        self.translate = translate
         self._source_cache: dict[str, Module] = {}
         self._measure_cache: dict[tuple[str, str], Measurement] = {}
         self._program_cache: dict[str, object] = {}
@@ -196,9 +207,18 @@ class BenchmarkRunner:
 
         benchmark = get_benchmark(benchmark_name)
         program = self.compile(benchmark_name, profile)
-        cpu_model = CpuTimingModel()
-        machine = Machine(program, max_instructions=self.max_instructions,
-                          observers=[cpu_model], input_values=benchmark.inputs)
+        if self.translate:
+            from ..emulator import TranslatedMachine
+
+            cpu_model = None
+            machine = TranslatedMachine(
+                program, max_instructions=self.max_instructions,
+                input_values=benchmark.inputs)
+        else:
+            cpu_model = CpuTimingModel()
+            machine = Machine(program, max_instructions=self.max_instructions,
+                              observers=[cpu_model],
+                              input_values=benchmark.inputs)
         trace = machine.run("main", benchmark.args)
         if benchmark.expected_output is not None and \
                 trace.output != benchmark.expected_output:
@@ -216,7 +236,7 @@ class BenchmarkRunner:
             trace=trace,
             risc0=risc0,
             sp1=sp1,
-            cpu=cpu_model.finalize(),
+            cpu=cpu_model.finalize() if cpu_model is not None else None,
             static_instructions=program.total_static_instructions(),
         )
         if use_cache:

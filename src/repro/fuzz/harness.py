@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..backend import compile_module
-from ..emulator import Machine, ReferenceMachine
+from ..emulator import Machine, ReferenceMachine, TranslatedMachine
 from ..experiments.profiles import Profile, profile_by_name, zkvm_aware_profile
 from ..frontend import compile_source
 from ..frontend.errors import FrontendError
@@ -260,21 +260,30 @@ def run_differential(source: str,
             if not seed_backend:
                 opt_program = program  # reused by the emulator stage below
 
-        # Stage 6: fast vs reference emulator on the optimizing backend's guest.
+        # Stage 6: fast and translated emulators vs the reference
+        # interpreter on the optimizing backend's guest — a three-way
+        # oracle, so the superblock engine earns differential coverage from
+        # every fuzz campaign.
         try:
             fast, fast_stats = _replay(opt_program, "main", Machine, emu_budget)
             ref, ref_stats = _replay(opt_program, "main", ReferenceMachine,
                                      emu_budget)
+            trans, trans_stats = _replay(opt_program, "main",
+                                         TranslatedMachine, emu_budget)
         except Exception as exc:  # noqa: BLE001
             return DifferentialReport(ok=False, stage="emulator", profile=name,
                                       detail=str(exc), interp_steps=steps)
-        if fast.output != ref.output or fast_stats != ref_stats \
-                or fast.memory != ref.memory:
-            what = ("outputs" if fast.output != ref.output else
-                    "TraceStats" if fast_stats != ref_stats else "memory")
-            return DifferentialReport(
-                ok=False, stage="emulator", profile=name,
-                detail=f"fast and reference emulators diverged on {what}",
-                interp_steps=steps)
+        for engine_name, machine, stats in (("fast", fast, fast_stats),
+                                            ("translated", trans,
+                                             trans_stats)):
+            if machine.output != ref.output or stats != ref_stats \
+                    or machine.memory != ref.memory:
+                what = ("outputs" if machine.output != ref.output else
+                        "TraceStats" if stats != ref_stats else "memory")
+                return DifferentialReport(
+                    ok=False, stage="emulator", profile=name,
+                    detail=f"{engine_name} and reference emulators "
+                           f"diverged on {what}",
+                    interp_steps=steps)
 
     return DifferentialReport(ok=True, interp_steps=steps)

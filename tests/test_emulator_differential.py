@@ -1,16 +1,25 @@
-"""Differential tests: the pre-decoded fast emulator vs the seed interpreter.
+"""Differential tests: every execution engine vs the seed interpreter.
 
 The production :class:`~repro.emulator.machine.Machine` replays guests through
 a decode-once, table-dispatch pipeline; the original per-instruction
-interpreter survives as :class:`~repro.emulator.reference.ReferenceMachine`.
-These tests assert the two produce *identical* trace statistics, outputs,
-paging events and observer event streams — across every seed benchmark and an
-opcode-coverage microprogram that executes every implemented ALU, branch,
-jump, memory and ecall opcode at least once.
+interpreter survives as :class:`~repro.emulator.reference.ReferenceMachine`;
+the batched machine runs lanes of guests over numpy and the superblock
+translator compiles hot regions to Python closures.  These tests parametrize
+over the shared engine helpers in ``tests/engines.py`` so every engine —
+current and future — is held to *identical* trace statistics, outputs, paging
+events, fault behavior and (for scalar engines) observer event streams,
+across every seed benchmark and an opcode-coverage microprogram that executes
+every implemented ALU, branch, jump, memory and ecall opcode at least once.
 """
+
+from functools import lru_cache
 
 import pytest
 
+from engines import (
+    DIFF_ENGINE_NAMES, SCALAR_ENGINES, assert_runs_identical, engine_params,
+    run_engine,
+)
 from repro.backend import compile_module
 from repro.backend.isa import (
     AssemblyFunction, AssemblyProgram, Label, MachineInstr,
@@ -18,10 +27,15 @@ from repro.backend.isa import (
 from repro.backend.lowering import HOST_CALL_IDS
 from repro.benchmarks import all_benchmark_names, get_benchmark
 from repro.emulator import (
-    EmulationError, Machine, ReferenceMachine, decode_program,
+    EmulationError, Machine, ReferenceMachine, TranslatedMachine,
+    decode_program,
 )
 from repro.emulator.decoder import ALU_IMM_IMPLS, _ALU_IMM_DECODED
 from repro.frontend import compile_source
+
+#: The engines that share the scalar observer/``get()`` interface, i.e. every
+#: differential engine except the batched lane machine.
+SCALAR_DIFF = tuple(n for n in DIFF_ENGINE_NAMES if n in SCALAR_ENGINES)
 
 
 class RecordingObserver:
@@ -38,20 +52,36 @@ class RecordingObserver:
                             pc))
 
 
+@lru_cache(maxsize=None)
 def _compile_benchmark(name: str) -> AssemblyProgram:
     benchmark = get_benchmark(name)
     return compile_module(compile_source(benchmark.source, module_name=name))
 
 
-def _run_both(program, observers=False, **kwargs):
-    """Run ``program`` on both machines; return (fast, ref, events, ref_events)."""
-    fast_obs, ref_obs = RecordingObserver(), RecordingObserver()
-    fast = Machine(program, observers=[fast_obs] if observers else (), **kwargs)
-    ref = ReferenceMachine(program, observers=[ref_obs] if observers else (),
-                           **kwargs)
-    fast.run()
-    ref.run()
-    return fast, ref, fast_obs.events, ref_obs.events
+@lru_cache(maxsize=None)
+def _compile(source: str) -> AssemblyProgram:
+    return compile_module(compile_source(source))
+
+
+_reference_runs: dict = {}
+
+
+def _reference_benchmark_run(name: str):
+    """The memoized reference-interpreter run of one seed benchmark."""
+    if name not in _reference_runs:
+        benchmark = get_benchmark(name)
+        _reference_runs[name] = run_engine(
+            "reference", _compile_benchmark(name), "main", benchmark.args,
+            input_values=benchmark.inputs)
+    return _reference_runs[name]
+
+
+def _run_events(machine_cls, program, **kwargs):
+    """Run a scalar machine with a recording observer attached."""
+    observer = RecordingObserver()
+    machine = machine_cls(program, observers=[observer], **kwargs)
+    machine.run()
+    return machine, observer.events
 
 
 def _assert_machines_identical(fast, ref, context=""):
@@ -207,12 +237,23 @@ class TestMicroprogram:
         missing = IMPLEMENTED_OPCODES - executed
         assert not missing, f"microprogram never executed: {sorted(missing)}"
 
-    def test_fast_and_reference_identical(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_every_engine_matches_reference(self, engine):
         program = microprogram()
-        fast, ref, fast_events, ref_events = _run_both(
-            program, observers=True, input_values=[77])
-        _assert_machines_identical(fast, ref, "on the microprogram")
-        assert fast_events == ref_events
+        ref = run_engine("reference", program, input_values=[77])
+        run = run_engine(engine, program, input_values=[77])
+        assert_runs_identical(run, ref, "on the microprogram")
+
+    @pytest.mark.parametrize("engine", SCALAR_DIFF)
+    def test_observed_run_identical_to_reference(self, engine):
+        program = microprogram()
+        ref, ref_events = _run_events(ReferenceMachine, program,
+                                      input_values=[77])
+        machine, events = _run_events(SCALAR_ENGINES[engine], program,
+                                      input_values=[77])
+        _assert_machines_identical(machine, ref,
+                                   f"on the observed microprogram ({engine})")
+        assert events == ref_events
 
     def test_branches_seen_taken_and_not_taken(self):
         stats = Machine(microprogram(), input_values=[77]).run()
@@ -221,34 +262,38 @@ class TestMicroprogram:
 
 
 class TestSeedBenchmarksDifferential:
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
     @pytest.mark.parametrize("name", all_benchmark_names())
-    def test_trace_stats_identical(self, name):
+    def test_trace_stats_identical(self, name, engine):
         benchmark = get_benchmark(name)
-        program = _compile_benchmark(name)
-        fast = Machine(program, input_values=benchmark.inputs)
-        ref = ReferenceMachine(program, input_values=benchmark.inputs)
-        fast.run("main", benchmark.args)
-        ref.run("main", benchmark.args)
-        _assert_machines_identical(fast, ref, f"on benchmark {name}")
-        assert fast.stats.summary() == ref.stats.summary()
+        run = run_engine(engine, _compile_benchmark(name), "main",
+                         benchmark.args, input_values=benchmark.inputs)
+        ref = _reference_benchmark_run(name)
+        assert_runs_identical(run, ref, f"on benchmark {name}")
+        assert run.stats.summary() == ref.stats.summary()
 
+    @pytest.mark.parametrize("engine", SCALAR_DIFF)
     @pytest.mark.parametrize("name", ["fibonacci", "loop-sum", "factorial",
                                       "tailcall"])
-    def test_observer_event_streams_identical(self, name):
+    def test_observer_event_streams_identical(self, name, engine):
         benchmark = get_benchmark(name)
         program = _compile_benchmark(name)
-        fast, ref, fast_events, ref_events = _run_both(
-            program, observers=True, input_values=benchmark.inputs)
-        assert fast_events == ref_events, f"event streams diverged on {name}"
+        _, ref_events = _run_events(ReferenceMachine, program,
+                                    input_values=benchmark.inputs)
+        _, events = _run_events(SCALAR_ENGINES[engine], program,
+                                input_values=benchmark.inputs)
+        assert events == ref_events, \
+            f"event streams diverged on {name} ({engine})"
 
-    def test_cpu_timing_model_identical(self):
+    @pytest.mark.parametrize("engine", SCALAR_DIFF)
+    def test_cpu_timing_model_identical(self, engine):
         from repro.cpu import CpuTimingModel
 
         program = _compile_benchmark("fibonacci")
-        fast_cpu, ref_cpu = CpuTimingModel(), CpuTimingModel()
-        Machine(program, observers=[fast_cpu]).run()
+        cpu, ref_cpu = CpuTimingModel(), CpuTimingModel()
+        SCALAR_ENGINES[engine](program, observers=[cpu]).run()
         ReferenceMachine(program, observers=[ref_cpu]).run()
-        assert fast_cpu.finalize() == ref_cpu.finalize()
+        assert cpu.finalize() == ref_cpu.finalize()
 
 
 class TestSegmentPaging:
@@ -261,19 +306,20 @@ class TestSegmentPaging:
     }
     """
 
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
     @pytest.mark.parametrize("segment_size", [7, 100, 999, 1 << 16])
-    def test_partial_trailing_segment_pages_correctly(self, segment_size):
+    def test_partial_trailing_segment_pages_correctly(self, segment_size,
+                                                      engine):
         """Instruction counts that are not a multiple of segment_size must
         still flush the trailing partial segment exactly once."""
-        program = compile_module(compile_source(self.SOURCE))
-        fast = Machine(program, segment_size=segment_size)
-        ref = ReferenceMachine(program, segment_size=segment_size)
-        fast.run()
-        ref.run()
-        _assert_machines_identical(fast, ref, f"segment_size={segment_size}")
-        assert fast.page_in_events > 0
+        program = _compile(self.SOURCE)
+        ref = run_engine("reference", program, segment_size=segment_size)
+        run = run_engine(engine, program, segment_size=segment_size)
+        assert_runs_identical(run, ref, f"segment_size={segment_size}")
+        assert run.page_in_events > 0
 
-    def test_segment_sizes_straddling_the_run_length(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_segment_sizes_straddling_the_run_length(self, engine):
         """Sweep segment sizes pinned to the exact dynamic run length.
 
         segment_size == run_length means the run's only segment boundary
@@ -282,44 +328,38 @@ class TestSegmentPaging:
         All three — plus the degenerate size-1 and a tiny odd size — must
         page identically to the seed interpreter.
         """
-        program = compile_module(compile_source(self.SOURCE))
+        program = _compile(self.SOURCE)
         run_length = Machine(program).run().instructions
         for segment_size in (1, 7, run_length - 1, run_length,
                              run_length + 1):
-            fast = Machine(program, segment_size=segment_size)
-            ref = ReferenceMachine(program, segment_size=segment_size)
-            fast.run()
-            ref.run()
-            _assert_machines_identical(
-                fast, ref,
+            ref = run_engine("reference", program, segment_size=segment_size)
+            run = run_engine(engine, program, segment_size=segment_size)
+            assert_runs_identical(
+                run, ref,
                 f"segment_size={segment_size} (run_length={run_length})")
 
-    def test_exact_multiple_has_no_partial_trailing_segment(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_exact_multiple_has_no_partial_trailing_segment(self, engine):
         """When the run length divides evenly, both machines must count the
         same number of segment flushes — no spurious trailing flush."""
-        program = compile_module(compile_source(self.SOURCE))
+        program = _compile(self.SOURCE)
         run_length = Machine(program).run().instructions
         for divisor in (1, 2, 4):
             if run_length % divisor:
                 continue
             size = run_length // divisor
-            fast = Machine(program, segment_size=size)
-            ref = ReferenceMachine(program, segment_size=size)
-            fast.run()
-            ref.run()
-            _assert_machines_identical(fast, ref, f"segment_size={size}")
+            ref = run_engine("reference", program, segment_size=size)
+            run = run_engine(engine, program, segment_size=size)
+            assert_runs_identical(run, ref, f"segment_size={size}")
 
-    def test_instruction_limit_parity(self):
-        source = "fn main() -> int { while (1) { } return 0; }"
-        program = compile_module(compile_source(source))
-        fast = Machine(program, max_instructions=1000)
-        ref = ReferenceMachine(program, max_instructions=1000)
-        with pytest.raises(EmulationError):
-            fast.run()
-        with pytest.raises(EmulationError):
-            ref.run()
-        assert fast.stats.instructions == ref.stats.instructions == 1000
-        assert fast.stats.opcode_counts == ref.stats.opcode_counts
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_instruction_limit_parity(self, engine):
+        program = _compile("fn main() -> int { while (1) { } return 0; }")
+        ref = run_engine("reference", program, max_instructions=1000)
+        run = run_engine(engine, program, max_instructions=1000)
+        assert isinstance(run.error, EmulationError)
+        assert_runs_identical(run, ref, "at the instruction limit")
+        assert run.stats.instructions == 1000
 
 
 class TestMachineReuse:
@@ -331,8 +371,9 @@ class TestMachineReuse:
     carried dirty pages into the new run's first segment.
     """
 
-    @pytest.mark.parametrize("machine_cls", [Machine, ReferenceMachine],
-                             ids=["fast", "reference"])
+    @pytest.mark.parametrize("machine_cls",
+                             [Machine, ReferenceMachine, TranslatedMachine],
+                             ids=["fast", "reference", "translated"])
     def test_two_runs_equal_two_fresh_machines(self, machine_cls):
         benchmark = get_benchmark("fibonacci")
         program = _compile_benchmark("fibonacci")
@@ -358,21 +399,25 @@ class TestMachineReuse:
         assert reused.memory == fresh_b.memory
         assert reused.output == fresh_b.output
 
-    def test_rerun_resets_segment_countdown(self):
+    @pytest.mark.parametrize("machine_cls", [Machine, TranslatedMachine],
+                             ids=["fast", "translated"])
+    def test_rerun_resets_segment_countdown(self, machine_cls):
         # An odd segment size whose countdown is mid-segment at halt: the
         # leftover countdown must not leak into the next run's first segment.
-        program = compile_module(compile_source(TestSegmentPaging.SOURCE))
-        reused = Machine(program, segment_size=999)
+        program = _compile(TestSegmentPaging.SOURCE)
+        reused = machine_cls(program, segment_size=999)
         first = reused.run()
         first_events = (reused.page_in_events, reused.page_out_events)
         second = reused.run()
         assert first == second
         assert (reused.page_in_events, reused.page_out_events) == first_events
 
-    def test_rerun_after_fault_starts_clean(self):
+    @pytest.mark.parametrize("machine_cls", [Machine, TranslatedMachine],
+                             ids=["fast", "translated"])
+    def test_rerun_after_fault_starts_clean(self, machine_cls):
         source = "fn main() -> int { while (1) { } return 0; }"
-        program = compile_module(compile_source(source))
-        machine = Machine(program, max_instructions=500)
+        program = _compile(source)
+        machine = machine_cls(program, max_instructions=500)
         with pytest.raises(EmulationError):
             machine.run()
         with pytest.raises(EmulationError):
@@ -383,6 +428,7 @@ class TestMachineReuse:
 class TestUnresolvedTargets:
     """Faulting control transfers must leave identical partial traces."""
 
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
     @pytest.mark.parametrize("body", [
         [_instr("li", "t0", 1), _instr("j", "nowhere")],
         [_instr("li", "t0", 1), _instr("call", "missing")],
@@ -391,21 +437,19 @@ class TestUnresolvedTargets:
         [_instr("li", "t0", 1), _instr("bne", "t0", "zero", "nowhere")],
         [_instr("li", "t0", 1), _instr("ebreak")],
     ], ids=["j", "call", "jal", "beqz-taken", "bne-taken", "ebreak"])
-    def test_pre_fault_side_effects_match_reference(self, body):
+    def test_pre_fault_side_effects_match_reference(self, body, engine):
         program = AssemblyProgram(functions={
             "main": AssemblyFunction("main", list(body))})
-        fast = Machine(program)
-        ref = ReferenceMachine(program)
-        with pytest.raises(EmulationError) as fast_exc:
-            fast.run()
-        with pytest.raises(EmulationError) as ref_exc:
-            ref.run()
-        assert str(fast_exc.value) == str(ref_exc.value)
-        assert fast.stats == ref.stats
-        for name in ("t0", "t1", "ra"):
-            assert fast.get(name) == ref.get(name), name
+        ref = run_engine("reference", program)
+        run = run_engine(engine, program)
+        assert isinstance(run.error, EmulationError)
+        assert_runs_identical(run, ref, "faulting control transfer")
+        if engine in SCALAR_ENGINES:
+            for name in ("t0", "t1", "ra"):
+                assert run.machine.get(name) == ref.machine.get(name), name
 
-    def test_malformed_dead_code_does_not_fault_at_decode(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_malformed_dead_code_does_not_fault_at_decode(self, engine):
         # The reference only inspects operands when an instruction executes;
         # a malformed instruction in a never-called helper must not break
         # decoding (or the run).
@@ -419,17 +463,21 @@ class TestUnresolvedTargets:
                 _instr("mv", "a0", 123),              # non-string register
             ]),
         })
-        fast, ref, _, _ = _run_both(program)
-        _assert_machines_identical(fast, ref, "with malformed dead code")
-        assert fast.stats.return_value == 3
+        ref = run_engine("reference", program)
+        run = run_engine(engine, program)
+        assert_runs_identical(run, ref, "with malformed dead code")
+        assert run.stats.return_value == 3
 
-    def test_malformed_instruction_faults_only_when_executed(self):
+    @pytest.mark.parametrize("machine_cls", [Machine, TranslatedMachine],
+                             ids=["fast", "translated"])
+    def test_malformed_instruction_faults_only_when_executed(self,
+                                                             machine_cls):
         program = AssemblyProgram(functions={
             "main": AssemblyFunction("main", [
                 _instr("li", "t0", 1),
                 _instr("add", "t0", "t1"),            # executes: must fault
             ])})
-        fast = Machine(program)                       # decode must succeed
+        fast = machine_cls(program)                   # decode must succeed
         ref = ReferenceMachine(program)
         with pytest.raises(ValueError):
             fast.run()
@@ -438,7 +486,8 @@ class TestUnresolvedTargets:
         # Both counted the li and the faulting add before raising.
         assert fast.stats.instructions == ref.stats.instructions == 2
 
-    def test_not_taken_branch_to_unknown_label_does_not_fault(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_not_taken_branch_to_unknown_label_does_not_fault(self, engine):
         # The reference only resolves a branch label when the branch is
         # taken; a never-taken branch to a bogus label must run to completion.
         body = [
@@ -450,9 +499,10 @@ class TestUnresolvedTargets:
         ]
         program = AssemblyProgram(functions={
             "main": AssemblyFunction("main", body)})
-        fast, ref, _, _ = _run_both(program)
-        _assert_machines_identical(fast, ref, "never-taken unresolved branch")
-        assert fast.stats.return_value == 5
+        ref = run_engine("reference", program)
+        run = run_engine(engine, program)
+        assert_runs_identical(run, ref, "never-taken unresolved branch")
+        assert run.stats.return_value == 5
 
 
 class TestDecodePipeline:
@@ -460,6 +510,14 @@ class TestDecodePipeline:
         program = _compile_benchmark("fibonacci")
         assert decode_program(program) is decode_program(program)
         assert Machine(program).decoded is Machine(program).decoded
+
+    def test_translation_cache_shared_across_machines(self):
+        # Superblock closures are compiled once per decoded program, not per
+        # TranslatedMachine: two machines over one program share the cache.
+        program = _compile_benchmark("fibonacci")
+        first = TranslatedMachine(program)
+        second = TranslatedMachine(program)
+        assert first._tcache is second._tcache
 
     def test_runner_reuses_compiled_programs(self):
         from repro.experiments.profiles import Profile, baseline_profile
@@ -489,7 +547,8 @@ class TestDecodePipeline:
                     assert apply(a, prepare(imm)) == raw(a, imm), \
                         f"{opcode}(a={a:#x}, imm={imm})"
 
-    def test_unknown_register_names_get_fresh_slots(self):
+    @pytest.mark.parametrize("engine", engine_params(DIFF_ENGINE_NAMES))
+    def test_unknown_register_names_get_fresh_slots(self, engine):
         # The reference treats any unknown name as a fresh zero register;
         # the decoder must intern such names instead of rejecting them.
         body = [
@@ -499,6 +558,7 @@ class TestDecodePipeline:
         ]
         program = AssemblyProgram(functions={
             "main": AssemblyFunction("main", body)})
-        fast, ref, _, _ = _run_both(program)
-        _assert_machines_identical(fast, ref, "with interned custom register")
-        assert fast.stats.return_value == 9
+        ref = run_engine("reference", program)
+        run = run_engine(engine, program)
+        assert_runs_identical(run, ref, "with interned custom register")
+        assert run.stats.return_value == 9

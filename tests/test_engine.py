@@ -226,3 +226,22 @@ class TestCli:
     def test_unknown_inputs_fail_cleanly(self, tmp_path, capsys):
         assert self._run(tmp_path, "figure", "99") == 2
         assert self._run(tmp_path, "measure", "no-such-benchmark") == 2
+
+    @pytest.mark.parametrize("lanes", ["0", "-3"])
+    def test_run_batch_rejects_non_positive_lane_counts(self, tmp_path,
+                                                        capsys, lanes):
+        assert self._run(tmp_path, "run", "loop-sum", "--batch",
+                         "--lanes", lanes) == 2
+        err = capsys.readouterr().err
+        assert "--lanes must be a positive integer" in err, err
+
+    def test_run_translate_smoke(self, tmp_path, capsys):
+        assert self._run(tmp_path, "run", "loop-sum", "--translate") == 0
+        out = capsys.readouterr().out
+        assert "[translated superblocks]" in out
+        assert "return value" in out
+
+    def test_run_translate_rejects_other_engines(self, tmp_path, capsys):
+        assert self._run(tmp_path, "run", "loop-sum", "--translate",
+                         "--reference") == 2
+        assert "--translate cannot be combined" in capsys.readouterr().err
