@@ -20,6 +20,10 @@
 #                        BENCH_passes.json (1.5x bar enforced)
 #   make bench-backend   optimizing vs seed backend RISC Zero cycles; writes
 #                        BENCH_backend.json (10% geomean reduction enforced)
+#   make bench-encoding  RV32/RVC binary encoding: byte-identical round-trips,
+#                        semantic replay of the reassembled binaries, and the
+#                        RVC code-size bar; writes BENCH_encoding.json (20%
+#                        geomean size reduction enforced)
 #   make fuzz-smoke      ~200-seed differential fuzzing campaign across all
 #                        generator modes, journaled and restarted mid-way to
 #                        exercise --resume (minutes; fails on any divergence)
@@ -33,7 +37,8 @@ export PYTHONPATH := src
 
 .PHONY: test test-engine chaos figures-smoke bench-engine bench-emulator \
 	bench-emulator-batched bench-emulator-translated bench-passes \
-	bench-backend fuzz-smoke docs-check coverage bench clean-cache
+	bench-backend bench-encoding fuzz-smoke docs-check coverage bench \
+	clean-cache
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -95,6 +100,15 @@ BENCH_BACKEND_BAR ?= 0.10
 bench-backend:
 	$(PYTHON) benchmarks/bench_backend.py --json BENCH_backend.json \
 		--min-reduction $(BENCH_BACKEND_BAR)
+
+# Fails if any benchmark's encode->decode->re-encode round-trip is not
+# byte-identical, if a reassembled binary diverges on the emulator, or if the
+# geomean RVC code-size reduction drops below the bar (override:
+# make bench-encoding BENCH_ENCODING_BAR=0.15).
+BENCH_ENCODING_BAR ?= 0.20
+bench-encoding:
+	$(PYTHON) benchmarks/bench_encoding.py --json BENCH_encoding.json \
+		--min-reduction $(BENCH_ENCODING_BAR)
 
 # Differential fuzzing: generated MiniC programs replayed through every
 # oracle (IR interpreter, both backends, both emulators, cached-vs-fresh

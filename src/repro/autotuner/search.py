@@ -98,7 +98,8 @@ class GeneticAutotuner:
                  space: Optional[TuningSpace] = None,
                  population_size: int = 12, seed: int = 0,
                  zkvm: str = "risc0",
-                 generation_size: Optional[int] = None):
+                 generation_size: Optional[int] = None,
+                 size_weight: float = 0.0):
         self.runner = runner or BenchmarkRunner()
         self.space = space or TuningSpace()
         self.population_size = population_size
@@ -106,6 +107,11 @@ class GeneticAutotuner:
         self.seed = seed
         self.random = random.Random(seed)
         self.zkvm = zkvm
+        #: Weight of the RVC binary footprint in candidate fitness:
+        #: ``cycles + size_weight * code_bytes``.  0.0 preserves the
+        #: historical cycles-only objective; positive values trade cycles
+        #: for smaller guest images (the paper's zkVM setting prices both).
+        self.size_weight = size_weight
         self.evaluations = 0
 
     # -- candidate construction -------------------------------------------------
@@ -185,7 +191,15 @@ class GeneticAutotuner:
             if measurement is None:
                 candidate.fitness = float("inf")
             else:
-                candidate.fitness = float(measurement.metric(self.zkvm, "total_cycles"))
+                candidate.fitness = self._objective(measurement)
+
+    def _objective(self, measurement) -> float:
+        """Candidate fitness: proven cycles plus the weighted binary size."""
+        cycles = float(measurement.metric(self.zkvm, "total_cycles"))
+        if not self.size_weight:
+            return cycles
+        sizes = measurement.code_bytes or {}
+        return cycles + self.size_weight * float(sizes.get("rvc", 0))
 
     # -- checkpointing ----------------------------------------------------------
     def _tune_fingerprint(self, benchmark: str) -> dict:
@@ -198,7 +212,8 @@ class GeneticAutotuner:
                  for key, value in asdict(self.space).items()}
         return {"kind": "autotune", "benchmark": benchmark, "seed": self.seed,
                 "zkvm": self.zkvm, "population_size": self.population_size,
-                "generation_size": self.generation_size, "space": space}
+                "generation_size": self.generation_size,
+                "size_weight": self.size_weight, "space": space}
 
     def _record_generation(self, journal, evaluated: int,
                            population: list, history: list) -> None:

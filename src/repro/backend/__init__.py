@@ -15,12 +15,16 @@ hatch used by the backend differential tests and ``make bench-backend``.
 
 from ..ir import Module
 from .cost_model import CPU_COST_MODEL, ZKVM_COST_MODEL, TargetCostModel, cost_model_for
+from .encoding import (
+    EncodeError, EncodedProgram, code_size_report, decode_words,
+    encode_program, reassemble,
+)
 from .isa import AssemblyFunction, AssemblyProgram, Label, MachineInstr, classify
 from .lowering import (
     DATA_SEGMENT_BASE, FunctionLowering, HOST_CALL_IDS, STACK_TOP,
     lower_module, remove_redundant_jumps,
 )
-from .peephole import cleanup_after_regalloc, run_peephole
+from .peephole import cleanup_after_regalloc, recolor_for_rvc, run_peephole
 from .regalloc import (
     LinearScanAllocator, allocate_registers, finalize_frame,
     weighted_static_cost,
@@ -43,7 +47,9 @@ def compile_module(module: Module,
     renders them).
     """
     if seed_backend:
-        return seed_compile_module(module, cost_model)
+        program = seed_compile_module(module, cost_model)
+        _attach_code_sizes(program)
+        return program
     program = lower_module(module, cost_model)
     ir_functions = {f.name: f for f in module.defined_functions()}
     backend_stats: dict[str, dict] = {}
@@ -63,7 +69,33 @@ def compile_module(module: Module,
                 stats["hoisting_disabled"] = True
         backend_stats[name] = stats
     program.backend_stats = backend_stats
+    _attach_code_sizes(program, backend_stats)
     return program
+
+
+def _attach_code_sizes(program: AssemblyProgram,
+                       backend_stats: dict | None = None) -> None:
+    """Measure the program's binary footprint and record it on the program.
+
+    ``program.code_sizes`` holds the whole-program byte counts
+    (``{"rv32": ..., "rvc": ...}``); with ``backend_stats`` given, each
+    function's entry additionally gets ``code_bytes``/``code_bytes_rvc``.
+    Programs carrying something the encoder rejects (possible for
+    hand-built test inputs, never for lowered code) get ``code_sizes=None``
+    rather than failing the compile.
+    """
+    try:
+        sizes = code_size_report(program)
+    except EncodeError:
+        program.code_sizes = None
+        return
+    program.code_sizes = {"rv32": sizes["rv32"], "rvc": sizes["rvc"]}
+    if backend_stats:
+        for name, stats in backend_stats.items():
+            per_function = sizes["functions"].get(name)
+            if per_function is not None:
+                stats["code_bytes"] = per_function["rv32"]
+                stats["code_bytes_rvc"] = per_function["rvc"]
 
 
 #: Spilled-vreg count at which ``compile_module`` re-lowers a function with
@@ -82,6 +114,7 @@ def _run_backend_pipeline(asm: AssemblyFunction) -> dict:
     allocator.run()
     cleanup_hits = cleanup_after_regalloc(asm)
     finalize_frame(asm, allocator.used_callee_saved)
+    recolored = recolor_for_rvc(asm)
     for key, value in cleanup_hits.items():
         peephole_hits[key] = peephole_hits.get(key, 0) + value
     return {
@@ -92,6 +125,7 @@ def _run_backend_pipeline(asm: AssemblyFunction) -> dict:
         "spill_loads": allocator.spill_loads,
         "spill_stores": allocator.spill_stores,
         "weighted_cost": weighted_static_cost(asm),
+        "rvc_recolored": recolored,
         "peephole": peephole_hits,
     }
 
@@ -102,4 +136,6 @@ __all__ = [
     "AssemblyFunction", "AssemblyProgram", "Label", "MachineInstr", "classify",
     "TargetCostModel", "CPU_COST_MODEL", "ZKVM_COST_MODEL", "cost_model_for",
     "DATA_SEGMENT_BASE", "HOST_CALL_IDS", "STACK_TOP",
+    "EncodeError", "EncodedProgram", "code_size_report", "decode_words",
+    "encode_program", "reassemble",
 ]

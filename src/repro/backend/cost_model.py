@@ -31,6 +31,11 @@ class TargetCostModel:
     cost_load: int = 3
     cost_store: int = 1
     cost_branch: int = 2
+    #: Weight of byte-accurate code size (RVC-compressed ``code_bytes``) in
+    #: composite objectives.  0.0 keeps historical cycles-only behavior; the
+    #: autotuner's ``--size-weight`` folds bytes into candidate fitness as
+    #: ``cycles + weight * code_bytes``.
+    code_size_weight: float = 0.0
 
 
 CPU_COST_MODEL = TargetCostModel(name="cpu")

@@ -180,9 +180,27 @@ for _ops, _cls in ((ALU_OPS, "alu"), (MUL_OPS, "mul"), (DIV_OPS, "div"),
 del _ops, _cls, _op
 
 
+class UnknownOpcodeError(ValueError):
+    """An opcode with no ``OPCODE_CLASS`` entry.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    call sites keep working; carries the offending mnemonic as ``opcode``
+    so batch tooling (encoder coverage tests, fuzz triage) can report
+    *which* opcode fell through instead of parsing the message.
+    """
+
+    def __init__(self, opcode: str):
+        super().__init__(f"unknown opcode: {opcode!r} (no OPCODE_CLASS entry; "
+                         f"add it to the opcode sets in repro.backend.isa)")
+        self.opcode = opcode
+
+
 def classify(opcode: str) -> str:
-    """Coarse instruction class used by the cost models."""
+    """Coarse instruction class used by the cost models.
+
+    Raises :class:`UnknownOpcodeError` for mnemonics outside the ISA.
+    """
     try:
         return OPCODE_CLASS[opcode]
     except KeyError:
-        raise ValueError(f"unknown opcode: {opcode}") from None
+        raise UnknownOpcodeError(opcode) from None

@@ -35,7 +35,7 @@ Hit counters for every rule are accumulated into a plain dict (see
 
 from __future__ import annotations
 
-from .isa import CALLER_SAVED, INVERTED_BRANCHES, Label, MachineInstr
+from .isa import CALLER_SAVED, INVERTED_BRANCHES, Label, MachineInstr, REGISTER_NUMBERS
 from .regalloc import instr_registers
 
 #: Opcodes that may be deleted when their destination register is unused.
@@ -422,3 +422,52 @@ def _kill_physical(reg: str, const_of: dict, mem: dict) -> None:
     const_of.pop(reg, None)
     for key in [k for k, v in mem.items() if k[0] == reg or v == reg]:
         del mem[key]
+
+
+#: Registers the RVC recoloring may rename away: the allocator's caller-saved
+#: pool plus its spill scratch — all outside the compressed (x8–x15) class.
+RVC_RENAMEABLE = ("t0", "t1", "t2", "t3", "t4", "t5", "t6")
+#: Rename destinations, most-preferred first: caller-saved registers inside
+#: the compressed class.  a0/a1 come last — they usually carry arguments or
+#: the return value and so are rarely free anyway.
+RVC_TARGETS = ("a2", "a3", "a4", "a5", "a1", "a0")
+
+
+def recolor_for_rvc(asm) -> int:
+    """Rename t-registers onto free a-registers for RVC compressibility.
+
+    The RVC compressed forms (:mod:`repro.backend.rvc`) can only address
+    x8–x15 (``s0``/``s1``/``a0``–``a5``) in their 3-bit register fields, but
+    the allocator's caller-saved pool is ``t0``–``t4`` — entirely outside
+    that class.  After allocation and frame finalization every operand is
+    physical, so a *consistent whole-function* rename of one caller-saved
+    register to another unused caller-saved register is semantics-preserving:
+
+    * the target register appears nowhere in the function, so no explicit
+      def/use collides;
+    * implicit clobbers (a callee or host call trashing caller-saved state)
+      can only differ for values live across a ``call``/``ecall``, and the
+      allocator never assigns caller-saved registers to such intervals.
+
+    Renames the most-frequently-used t-registers onto free a-registers
+    (most uses first) and returns how many registers were remapped.
+    ``repro lower --stats`` surfaces the count as ``rvc_recolored``.
+    """
+    counts: dict[str, int] = {}
+    used: set[str] = set()
+    for instr in asm.instructions():
+        for operand in instr.operands:
+            if isinstance(operand, str) and operand in REGISTER_NUMBERS:
+                used.add(operand)
+                counts[operand] = counts.get(operand, 0) + 1
+    free = [reg for reg in RVC_TARGETS if reg not in used]
+    sources = sorted((reg for reg in RVC_RENAMEABLE if reg in used),
+                     key=lambda reg: (-counts[reg], reg))
+    mapping = dict(zip(sources, free))
+    if not mapping:
+        return 0
+    for instr in asm.instructions():
+        instr.operands = [mapping.get(operand, operand)
+                          if isinstance(operand, str) else operand
+                          for operand in instr.operands]
+    return len(mapping)

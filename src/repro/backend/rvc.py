@@ -1,0 +1,314 @@
+"""RV32C: rewriting eligible 32-bit instructions into 16-bit compressed forms.
+
+The compressor works on the *canonical* instruction atoms produced by
+:mod:`repro.backend.encoding`'s pseudo-expansion (real RV32I mnemonics with
+physical register names), so eligibility is a pure predicate over one
+instruction plus — for control transfers — its branch offset:
+
+* :func:`compress` returns the 16-bit halfword for an eligible atom and
+  ``None`` otherwise; the encoder's address-assignment fixpoint calls it with
+  the current offset until sizes stabilize.
+* :func:`decode_compressed` is the exact inverse: it returns the canonical
+  atom a halfword came from, so ``encode → decode → re-encode`` is
+  byte-identical and a compressed program decodes to the *same* canonical
+  instruction stream as its uncompressed twin.
+
+Implemented forms (RV32C; ``c.jal`` exists in RV32 only):
+
+========================  ====================================================
+quadrant 0                ``c.lw``, ``c.sw`` (x8–x15 registers, word offsets)
+quadrant 1                ``c.nop``, ``c.addi``, ``c.jal``, ``c.li``,
+                          ``c.addi16sp``, ``c.lui``, ``c.srli``, ``c.srai``,
+                          ``c.andi``, ``c.sub``, ``c.xor``, ``c.or``,
+                          ``c.and``, ``c.j``, ``c.beqz``, ``c.bnez``
+quadrant 2                ``c.slli``, ``c.lwsp``, ``c.swsp``, ``c.jr``,
+                          ``c.jalr``, ``c.mv``, ``c.add``, ``c.ebreak``
+========================  ====================================================
+
+Deliberately not emitted: ``c.addi4spn`` (the backend materializes stack
+addresses through ``sp``-relative loads/stores, so the form almost never
+fires) and the floating-point forms (no F extension in this ISA).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .isa import REGISTER_NAMES, REGISTER_NUMBERS
+
+#: Registers addressable by the compressed 3-bit register fields (x8–x15).
+COMPRESSED_REGISTERS = tuple(REGISTER_NAMES[8:16])  # s0 s1 a0 a1 a2 a3 a4 a5
+
+_PRIME = {name: number - 8 for number, name in enumerate(REGISTER_NAMES)
+          if 8 <= number <= 15}
+
+
+def is_compressed_reg(name: str) -> bool:
+    """True when ``name`` is addressable by a 3-bit RVC register field."""
+    return name in _PRIME
+
+
+def _num(name: str) -> Optional[int]:
+    return REGISTER_NUMBERS.get(name)
+
+
+# -- immediate scramblers ------------------------------------------------------
+def _cj_imm(offset: int) -> int:
+    """The 11 permuted offset bits of the CJ format (c.j / c.jal)."""
+    return (((offset >> 11) & 1) << 10 | ((offset >> 4) & 1) << 9
+            | ((offset >> 8) & 3) << 7 | ((offset >> 10) & 1) << 6
+            | ((offset >> 6) & 1) << 5 | ((offset >> 7) & 1) << 4
+            | ((offset >> 1) & 7) << 1 | ((offset >> 5) & 1))
+
+
+def _cj_offset(word: int) -> int:
+    """Inverse of :func:`_cj_imm` over a full halfword."""
+    offset = (((word >> 12) & 1) << 11 | ((word >> 11) & 1) << 4
+              | ((word >> 9) & 3) << 8 | ((word >> 8) & 1) << 10
+              | ((word >> 7) & 1) << 6 | ((word >> 6) & 1) << 7
+              | ((word >> 3) & 7) << 1 | ((word >> 2) & 1) << 5)
+    return offset - 4096 if offset & 0x800 else offset
+
+
+def _cb_imm_hi(offset: int) -> int:
+    """Bits [12:10] of the CB branch format: offset[8|4:3]."""
+    return ((offset >> 8) & 1) << 2 | ((offset >> 3) & 3)
+
+
+def _cb_imm_lo(offset: int) -> int:
+    """Bits [6:2] of the CB branch format: offset[7:6|2:1|5]."""
+    return (((offset >> 6) & 3) << 3 | ((offset >> 1) & 3) << 1
+            | ((offset >> 5) & 1))
+
+
+def _cb_offset(word: int) -> int:
+    offset = (((word >> 12) & 1) << 8 | ((word >> 10) & 3) << 3
+              | ((word >> 5) & 3) << 6 | ((word >> 3) & 3) << 1
+              | ((word >> 2) & 1) << 5)
+    return offset - 512 if offset & 0x100 else offset
+
+
+def _imm6(value: int) -> bool:
+    return -32 <= value <= 31
+
+
+# -- compression ---------------------------------------------------------------
+def compress(opcode: str, operands: tuple,
+             offset: Optional[int] = None) -> Optional[int]:
+    """The 16-bit encoding of a canonical atom, or ``None`` if ineligible.
+
+    ``operands`` uses the canonical shapes of
+    :mod:`repro.backend.encoding` (register *names*, integer immediates,
+    loads/stores as ``(reg, offset, base)``).  ``offset`` is the
+    pc-relative byte distance for branches and jumps.
+    """
+    if opcode == "addi":
+        rd, rs1, imm = operands
+        if rd == "zero" and rs1 == "zero" and imm == 0:
+            return 0x0001                                        # c.nop
+        if rs1 == "zero" and rd != "zero" and _imm6(imm):
+            return (0b010 << 13 | ((imm >> 5) & 1) << 12         # c.li
+                    | _num(rd) << 7 | (imm & 0x1F) << 2 | 0b01)
+        if imm == 0 and rd != "zero" and rs1 != "zero":
+            return (0b100 << 13 | _num(rd) << 7                  # c.mv
+                    | _num(rs1) << 2 | 0b10)
+        if rd == rs1 and rd != "zero" and imm != 0 and _imm6(imm):
+            return (0b000 << 13 | ((imm >> 5) & 1) << 12         # c.addi
+                    | _num(rd) << 7 | (imm & 0x1F) << 2 | 0b01)
+        if rd == "sp" and rs1 == "sp" and imm != 0 and imm % 16 == 0 \
+                and -512 <= imm <= 496:
+            # Reached only for |imm| > 31 (c.addi matched above), so the
+            # c.addi / c.addi16sp ranges stay disjoint and decode→re-encode
+            # reproduces the original halfword.
+            return (0b011 << 13 | ((imm >> 9) & 1) << 12         # c.addi16sp
+                    | 2 << 7 | ((imm >> 4) & 1) << 6
+                    | ((imm >> 6) & 1) << 5 | ((imm >> 7) & 3) << 3
+                    | ((imm >> 5) & 1) << 2 | 0b01)
+        return None
+    if opcode == "add":
+        rd, rs1, rs2 = operands
+        if rd == rs1 and rd != "zero" and rs2 != "zero":
+            return (0b100 << 13 | 1 << 12 | _num(rd) << 7        # c.add
+                    | _num(rs2) << 2 | 0b10)
+        return None
+    if opcode in ("sub", "xor", "or", "and"):
+        rd, rs1, rs2 = operands
+        if rd == rs1 and rd in _PRIME and rs2 in _PRIME:
+            funct2 = ("sub", "xor", "or", "and").index(opcode)
+            return (0b100011 << 10 | _PRIME[rd] << 7             # c.sub/...
+                    | funct2 << 5 | _PRIME[rs2] << 2 | 0b01)
+        return None
+    if opcode == "slli":
+        rd, rs1, shamt = operands
+        if rd == rs1 and rd != "zero" and 1 <= shamt <= 31:
+            return 0b000 << 13 | _num(rd) << 7 | shamt << 2 | 0b10
+        return None
+    if opcode in ("srli", "srai"):
+        rd, rs1, shamt = operands
+        if rd == rs1 and rd in _PRIME and 1 <= shamt <= 31:
+            funct2 = 0 if opcode == "srli" else 1
+            return (0b100 << 13 | funct2 << 10 | _PRIME[rd] << 7
+                    | shamt << 2 | 0b01)
+        return None
+    if opcode == "andi":
+        rd, rs1, imm = operands
+        if rd == rs1 and rd in _PRIME and _imm6(imm):
+            return (0b100 << 13 | ((imm >> 5) & 1) << 12 | 0b10 << 10
+                    | _PRIME[rd] << 7 | (imm & 0x1F) << 2 | 0b01)
+        return None
+    if opcode == "lui":
+        rd, imm = operands
+        value = imm - (1 << 20) if imm & 0x80000 else imm        # signed 20-bit
+        if rd not in ("zero", "sp") and value != 0 and _imm6(value):
+            return (0b011 << 13 | ((value >> 5) & 1) << 12
+                    | _num(rd) << 7 | (value & 0x1F) << 2 | 0b01)
+        return None
+    if opcode == "lw":
+        rd, off, base = operands
+        if base == "sp" and rd != "zero" and 0 <= off <= 252 and off % 4 == 0:
+            return (0b010 << 13 | ((off >> 5) & 1) << 12         # c.lwsp
+                    | _num(rd) << 7 | ((off >> 2) & 7) << 4
+                    | ((off >> 6) & 3) << 2 | 0b10)
+        if rd in _PRIME and base in _PRIME and 0 <= off <= 124 and off % 4 == 0:
+            return (0b010 << 13 | ((off >> 3) & 7) << 10         # c.lw
+                    | _PRIME[base] << 7 | ((off >> 2) & 1) << 6
+                    | ((off >> 6) & 1) << 5 | _PRIME[rd] << 2)
+        return None
+    if opcode == "sw":
+        rs2, off, base = operands
+        if base == "sp" and 0 <= off <= 252 and off % 4 == 0:
+            return (0b110 << 13 | ((off >> 2) & 0xF) << 9        # c.swsp
+                    | ((off >> 6) & 3) << 7 | _num(rs2) << 2 | 0b10)
+        if rs2 in _PRIME and base in _PRIME and 0 <= off <= 124 and off % 4 == 0:
+            return (0b110 << 13 | ((off >> 3) & 7) << 10         # c.sw
+                    | _PRIME[base] << 7 | ((off >> 2) & 1) << 6
+                    | ((off >> 6) & 1) << 5 | _PRIME[rs2] << 2)
+        return None
+    if opcode == "jal":
+        (rd,) = operands
+        if offset is None or not -2048 <= offset <= 2046:
+            return None
+        if rd == "zero":
+            return 0b101 << 13 | _cj_imm(offset) << 2 | 0b01     # c.j
+        if rd == "ra":
+            return 0b001 << 13 | _cj_imm(offset) << 2 | 0b01     # c.jal (RV32)
+        return None
+    if opcode == "jalr":
+        rd, base, imm = operands
+        if imm != 0 or base == "zero":
+            return None
+        if rd == "zero":
+            return 0b100 << 13 | _num(base) << 7 | 0b10          # c.jr
+        if rd == "ra":
+            return 0b100 << 13 | 1 << 12 | _num(base) << 7 | 0b10  # c.jalr
+        return None
+    if opcode in ("beq", "bne"):
+        rs1, rs2 = operands
+        if rs2 != "zero" or rs1 not in _PRIME:
+            return None
+        if offset is None or not -256 <= offset <= 254:
+            return None
+        funct3 = 0b110 if opcode == "beq" else 0b111             # c.beqz/c.bnez
+        return (funct3 << 13 | _cb_imm_hi(offset) << 10
+                | _PRIME[rs1] << 7 | _cb_imm_lo(offset) << 2 | 0b01)
+    if opcode == "ebreak":
+        return 0x9002                                            # c.ebreak
+    return None
+
+
+# -- decompression -------------------------------------------------------------
+class CompressedDecodeError(Exception):
+    """A halfword that is not one of the compressed forms we emit."""
+
+
+def decode_compressed(word: int):
+    """Invert :func:`compress`: ``(opcode, operands, offset_or_None)``.
+
+    Raises :class:`CompressedDecodeError` for halfwords outside the emitted
+    subset (including the all-zero illegal instruction).
+    """
+    word &= 0xFFFF
+    quadrant = word & 0b11
+    funct3 = (word >> 13) & 0b111
+    if quadrant == 0b00:
+        rd_p = COMPRESSED_REGISTERS[(word >> 2) & 7]
+        base = COMPRESSED_REGISTERS[(word >> 7) & 7]
+        off = (((word >> 10) & 7) << 3 | ((word >> 6) & 1) << 2
+               | ((word >> 5) & 1) << 6)
+        if funct3 == 0b010:
+            return "lw", (rd_p, off, base), None
+        if funct3 == 0b110:
+            return "sw", (rd_p, off, base), None
+        raise CompressedDecodeError(f"unsupported quadrant-0 halfword "
+                                    f"{word:#06x}")
+    if quadrant == 0b01:
+        if funct3 == 0b000:
+            rd = REGISTER_NAMES[(word >> 7) & 0x1F]
+            imm = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+            imm = imm - 64 if imm & 0x20 else imm
+            if rd == "zero":                                     # c.nop
+                return "addi", ("zero", "zero", 0), None
+            return "addi", (rd, rd, imm), None                   # c.addi
+        if funct3 == 0b001:
+            return "jal", ("ra",), _cj_offset(word)              # c.jal
+        if funct3 == 0b010:
+            rd = REGISTER_NAMES[(word >> 7) & 0x1F]
+            imm = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+            imm = imm - 64 if imm & 0x20 else imm
+            return "addi", (rd, "zero", imm), None               # c.li
+        if funct3 == 0b011:
+            rd = REGISTER_NAMES[(word >> 7) & 0x1F]
+            if rd == "sp":                                       # c.addi16sp
+                imm = (((word >> 12) & 1) << 9 | ((word >> 6) & 1) << 4
+                       | ((word >> 5) & 1) << 6 | ((word >> 3) & 3) << 7
+                       | ((word >> 2) & 1) << 5)
+                imm = imm - 1024 if imm & 0x200 else imm
+                return "addi", ("sp", "sp", imm), None
+            imm = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+            imm = imm - 64 if imm & 0x20 else imm
+            return "lui", (rd, imm & 0xFFFFF), None              # c.lui
+        if funct3 == 0b100:
+            rd = COMPRESSED_REGISTERS[(word >> 7) & 7]
+            funct2 = (word >> 10) & 0b11
+            if funct2 == 0b00 or funct2 == 0b01:
+                shamt = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+                op = "srli" if funct2 == 0b00 else "srai"
+                return op, (rd, rd, shamt), None
+            if funct2 == 0b10:
+                imm = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+                imm = imm - 64 if imm & 0x20 else imm
+                return "andi", (rd, rd, imm), None               # c.andi
+            rs2 = COMPRESSED_REGISTERS[(word >> 2) & 7]
+            op = ("sub", "xor", "or", "and")[(word >> 5) & 0b11]
+            return op, (rd, rd, rs2), None
+        if funct3 == 0b101:
+            return "jal", ("zero",), _cj_offset(word)            # c.j
+        if funct3 in (0b110, 0b111):
+            rs1 = COMPRESSED_REGISTERS[(word >> 7) & 7]
+            op = "beq" if funct3 == 0b110 else "bne"
+            return op, (rs1, "zero"), _cb_offset(word)
+    if quadrant == 0b10:
+        rd = REGISTER_NAMES[(word >> 7) & 0x1F]
+        if funct3 == 0b000:
+            shamt = ((word >> 12) & 1) << 5 | ((word >> 2) & 0x1F)
+            return "slli", (rd, rd, shamt), None                 # c.slli
+        if funct3 == 0b010:
+            off = (((word >> 12) & 1) << 5 | ((word >> 4) & 7) << 2
+                   | ((word >> 2) & 3) << 6)
+            return "lw", (rd, off, "sp"), None                   # c.lwsp
+        if funct3 == 0b100:
+            rs2 = REGISTER_NAMES[(word >> 2) & 0x1F]
+            if (word >> 12) & 1:
+                if rd == "zero" and rs2 == "zero":
+                    return "ebreak", (), None                    # c.ebreak
+                if rs2 == "zero":
+                    return "jalr", ("ra", rd, 0), None           # c.jalr
+                return "add", (rd, rd, rs2), None                # c.add
+            if rs2 == "zero":
+                return "jalr", ("zero", rd, 0), None             # c.jr
+            return "addi", (rd, rs2, 0), None                    # c.mv
+        if funct3 == 0b110:
+            off = ((word >> 9) & 0xF) << 2 | ((word >> 7) & 3) << 6
+            rs2 = REGISTER_NAMES[(word >> 2) & 0x1F]
+            return "sw", (rs2, off, "sp"), None                  # c.swsp
+    raise CompressedDecodeError(f"unsupported compressed halfword {word:#06x}")

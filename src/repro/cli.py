@@ -403,7 +403,8 @@ def _cmd_autotune(args) -> int:
     # measurement path runs on the translated engine by default.
     engine = _make_engine(args, translate=not args.no_translate)
     tuner = GeneticAutotuner(runner=engine, seed=args.seed, zkvm=args.zkvm,
-                             population_size=args.population)
+                             population_size=args.population,
+                             size_weight=args.size_weight)
     journal = _journal_for(
         args, f"autotune-{args.benchmark}-{args.seed}-{args.zkvm}")
     try:
@@ -553,6 +554,56 @@ def _cmd_lower(args) -> int:
     if totals[0]:
         print(f"total: {totals[0]} -> {totals[1]} static instructions "
               f"({(totals[0] - totals[1]) / totals[0] * 100:.1f}% smaller)")
+    return 0
+
+
+def _cmd_encode(args) -> int:
+    from .analysis.reporting import format_table
+    from .backend.encoding import encode_program
+
+    engine = _make_engine(args)
+    profile = _resolve_profile(args.profile)
+    benchmarks = _resolve_benchmarks(args.benchmarks)
+
+    rows = []
+    report = []
+    for benchmark_name in benchmarks:
+        program = engine.compile(benchmark_name, profile)
+        plain = encode_program(program)
+        packed = encode_program(program, rvc=True)
+        if args.hex:
+            chosen = packed if args.rvc else plain
+            print(f"# {benchmark_name} — {profile.name}, "
+                  f"{'RVC' if args.rvc else 'RV32I'}, "
+                  f"{chosen.code_bytes} bytes")
+            print(chosen.hexdump())
+            print()
+        entry = {"benchmark": benchmark_name,
+                 "code_bytes": {"rv32": plain.code_bytes,
+                                "rvc": packed.code_bytes},
+                 "functions": {}}
+        for function_name, rv32_bytes in plain.function_sizes.items():
+            rvc_bytes = packed.function_sizes[function_name]
+            reduction = ((rv32_bytes - rvc_bytes) / rv32_bytes * 100
+                         if rv32_bytes else 0.0)
+            rows.append([benchmark_name, function_name, rv32_bytes,
+                         rvc_bytes, f"{reduction:.1f}"])
+            entry["functions"][function_name] = {"rv32": rv32_bytes,
+                                                 "rvc": rvc_bytes}
+        report.append(entry)
+    if args.json:
+        _emit({"profile": profile.name, "benchmarks": report}, as_json=True)
+        return 0
+    if not args.hex or len(rows) > 1:
+        print(format_table(
+            ["benchmark", "function", "rv32 bytes", "rvc bytes", "Δ%"],
+            rows, title=f"Binary code size — {profile.name}"))
+        total_rv32 = sum(r[2] for r in rows)
+        total_rvc = sum(r[3] for r in rows)
+        if total_rv32:
+            print(f"total: {total_rv32} -> {total_rvc} bytes "
+                  f"({(total_rv32 - total_rvc) / total_rv32 * 100:.1f}% "
+                  f"smaller with RVC)")
     return 0
 
 
@@ -724,6 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--population", type=int, default=12)
     p.add_argument("--zkvm", choices=["risc0", "sp1"], default="risc0")
+    p.add_argument("--size-weight", type=float, default=0.0,
+                   help="weight of the RVC binary footprint in candidate "
+                        "fitness (cycles + weight * code_bytes; default 0 = "
+                        "cycles only)")
     p.add_argument("--journal", default=None,
                    help="checkpoint each generation to this journal (a name "
                         "under the cache root, or a path)")
@@ -760,6 +815,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "peephole hits (vs the seed backend)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_lower)
+
+    p = sub.add_parser("encode",
+                       help="encode benchmarks to real RV32/RVC machine "
+                            "words and report byte-accurate code sizes")
+    p.add_argument("benchmarks", nargs="+",
+                   help="benchmark names, suite names, or 'all'")
+    p.add_argument("--profile", default="-O3",
+                   help="optimization profile (default: -O3)")
+    p.add_argument("--rvc", action="store_true",
+                   help="show the RVC-compressed encoding in --hex output "
+                        "(the size table always reports both)")
+    p.add_argument("--hex", action="store_true",
+                   help="print the full disassembly-style hex dump")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_encode)
 
     p = sub.add_parser("fuzz",
                        help="differential fuzzing across every oracle "

@@ -47,8 +47,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Bump when the on-disk entry format (or Measurement's shape) changes.
 #: Version 2 wraps every entry in a ``(schema, measurement)`` envelope so a
 #: reader can reject entries written by an incompatible format instead of
-#: unpickling them blind.
-CACHE_SCHEMA_VERSION = 2
+#: unpickling them blind.  Version 3 adds ``Measurement.code_bytes`` (the
+#: byte-accurate RV32/RVC code-size pair).
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:

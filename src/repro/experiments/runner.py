@@ -40,6 +40,10 @@ class Measurement:
     #: no per-instruction observer stream to drive the CPU timing model.
     cpu: Optional[CpuMetrics]
     static_instructions: int
+    #: Byte-accurate binary footprint ``{"rv32": ..., "rvc": ...}`` from
+    #: :func:`repro.backend.encoding.code_size_report`; None when the
+    #: program carries something the encoder rejects.
+    code_bytes: Optional[dict] = None
 
     @property
     def instructions(self) -> int:
@@ -59,6 +63,7 @@ class Measurement:
             "risc0": self.risc0.as_dict(),
             "sp1": self.sp1.as_dict(),
             "cpu": self.cpu.as_dict() if self.cpu is not None else None,
+            "code_bytes": self.code_bytes,
         }
 
 
@@ -238,6 +243,7 @@ class BenchmarkRunner:
             sp1=sp1,
             cpu=cpu_model.finalize() if cpu_model is not None else None,
             static_instructions=program.total_static_instructions(),
+            code_bytes=getattr(program, "code_sizes", None),
         )
         if use_cache:
             self._measure_cache[key] = measurement

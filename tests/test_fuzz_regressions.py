@@ -31,3 +31,42 @@ def test_corpus_replay(path, header, source):
     report = run_differential(source)
     assert report.ok, (f"{path}: regression! diverges again at stage "
                        f"{report.stage} ({report.profile}): {report.detail}")
+
+
+@pytest.mark.parametrize(
+    "path,header,source", CORPUS,
+    ids=[Path(path).stem for path, _, _ in CORPUS])
+def test_corpus_encodes_round_trip(path, header, source):
+    """Every reproducer also survives the binary encoder, both encodings.
+
+    Programs that once broke an oracle are exactly the kind of adversarial
+    input the encoder should be pinned against: encode → decode → re-encode
+    must stay byte-identical, and the reassembled RVC binary must replay to
+    the same guest behaviour as the compiled original.
+    """
+    from repro.backend import compile_module
+    from repro.backend.encoding import (
+        decode_words, encode_one, encode_program, reassemble)
+    from repro.emulator import run_program
+    from repro.experiments.profiles import profile_by_name
+    from repro.frontend import compile_source
+    from repro.passes import PassManager
+
+    profile = profile_by_name("-O3")
+    module = compile_source(source, module_name=Path(path).stem)
+    PassManager(profile.passes, profile.config).run(module)
+    program = compile_module(module, profile.cost_model)
+    for rvc in (False, True):
+        encoded = encode_program(program, rvc=rvc)
+        decoded = decode_words(encoded.blob, encoded.base_address)
+        blob = bytearray()
+        for instr in decoded:
+            blob += encode_one(instr).to_bytes(instr.size, "little")
+        assert bytes(blob) == encoded.blob, \
+            f"{path}: rvc={rvc} re-encode is not byte-identical"
+    lifted = reassemble(decoded, encoded.symbols, like=program)
+    base = run_program(program, max_instructions=80_000_000)
+    replay = run_program(lifted, max_instructions=80_000_000)
+    assert (base.output, base.return_value) == \
+           (replay.output, replay.return_value), \
+        f"{path}: reassembled binary diverges on the emulator"
